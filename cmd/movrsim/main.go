@@ -1,0 +1,177 @@
+// Command movrsim reproduces the evaluation of "Cutting the Cord in
+// Virtual Reality" (HotNets-XV, 2016) from the terminal.
+//
+// Usage:
+//
+//	movrsim [flags] <experiment>
+//
+// Experiments:
+//
+//	fig3       blockage impact on SNR and data rate (§3)
+//	fig7       TX→RX leakage vs beam angles (§4.2)
+//	fig8       beam-alignment accuracy (§5.1)
+//	fig9       SNR improvement CDFs: LOS / Opt-NLOS / MoVR (§5.2)
+//	battery    untethered battery-life analysis (§6)
+//	latency    control-path latency budget (§6)
+//	session    end-to-end VR streaming with pose tracking (§6 future work)
+//	deployment multi-AP vs AP+reflector coverage and cost (§1)
+//	map        room coverage heatmaps with and without MoVR
+//	ablations  design-choice ablation tables
+//	all        everything above, in paper order
+//
+// Flags:
+//
+//	-seed N    random seed (default 1)
+//	-runs N    Monte-Carlo runs where applicable (default: paper scale)
+//	-fast      reduce run counts and sweep resolution for a quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	movr "github.com/movr-sim/movr"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	runs := flag.Int("runs", 0, "Monte-Carlo runs (0 = paper default)")
+	fast := flag.Bool("fast", false, "quick pass: fewer runs, coarser sweeps")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	cmd := flag.Arg(0)
+	start := time.Now()
+	switch cmd {
+	case "fig3":
+		runFig3(*seed, *runs, *fast)
+	case "fig7":
+		runFig7(*seed)
+	case "fig8":
+		runFig8(*seed, *runs, *fast)
+	case "fig9":
+		runFig9(*seed, *runs, *fast)
+	case "battery":
+		fmt.Print(movr.RunBattery(movr.DefaultBatteryConfig()).Render())
+	case "latency":
+		fmt.Print(movr.RunLatency(movr.LatencyConfig{Seed: *seed}).Render())
+	case "session":
+		runSession(*seed, *fast)
+	case "deployment":
+		fmt.Print(movr.RunDeployment().Render())
+	case "map":
+		runMap()
+	case "ablations":
+		runAblations(*seed)
+	case "all":
+		runFig3(*seed, *runs, *fast)
+		fmt.Println()
+		runFig7(*seed)
+		fmt.Println()
+		runFig8(*seed, *runs, *fast)
+		fmt.Println()
+		runFig9(*seed, *runs, *fast)
+		fmt.Println()
+		fmt.Print(movr.RunBattery(movr.DefaultBatteryConfig()).Render())
+		fmt.Println()
+		fmt.Print(movr.RunLatency(movr.LatencyConfig{Seed: *seed}).Render())
+		fmt.Println()
+		runSession(*seed, *fast)
+		fmt.Println()
+		fmt.Print(movr.RunDeployment().Render())
+		fmt.Println()
+		runMap()
+		fmt.Println()
+		runAblations(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "movrsim: unknown experiment %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", cmd, time.Since(start).Truncate(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `movrsim — MoVR (HotNets'16) evaluation reproduction
+
+usage: movrsim [flags] <fig3|fig7|fig8|fig9|battery|latency|session|deployment|map|ablations|all>
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func runFig3(seed int64, runs int, fast bool) {
+	cfg := movr.DefaultFig3Config()
+	cfg.Seed = seed
+	if runs > 0 {
+		cfg.Runs = runs
+	}
+	if fast {
+		cfg.Runs = 6
+		cfg.NLOSStepDeg = 5
+	}
+	fmt.Print(movr.RunFig3(cfg).Render())
+}
+
+func runFig7(seed int64) {
+	cfg := movr.DefaultFig7Config()
+	cfg.Seed = seed
+	fmt.Print(movr.RunFig7(cfg).Render())
+}
+
+func runFig8(seed int64, runs int, fast bool) {
+	cfg := movr.DefaultFig8Config()
+	cfg.Seed = seed
+	if runs > 0 {
+		cfg.Runs = runs
+	}
+	if fast {
+		cfg.Runs = 10
+	}
+	fmt.Print(movr.RunFig8(cfg).Render())
+}
+
+func runFig9(seed int64, runs int, fast bool) {
+	cfg := movr.DefaultFig9Config()
+	cfg.Seed = seed
+	if runs > 0 {
+		cfg.Runs = runs
+	}
+	if fast {
+		cfg.Runs = 8
+		cfg.NLOSStepDeg = 5
+	}
+	fmt.Print(movr.RunFig9(cfg).Render())
+}
+
+func runSession(seed int64, fast bool) {
+	cfg := movr.DefaultSessionConfig()
+	cfg.Seed = seed
+	if fast {
+		cfg.Duration = 8 * time.Second
+	}
+	fmt.Print(movr.RunSession(cfg).Render())
+}
+
+func runMap() {
+	fmt.Print(movr.RunHeatmap(movr.DefaultHeatmapConfig(false)).Render("VR coverage — bare AP"))
+	fmt.Println()
+	fmt.Print(movr.RunHeatmap(movr.DefaultHeatmapConfig(true)).Render("VR coverage — AP + MoVR reflector"))
+}
+
+func runAblations(seed int64) {
+	fmt.Print(movr.RenderAblations(
+		movr.RunAblationGainBackoff(seed),
+		movr.RunAblationPhaseBits(seed),
+		movr.RunAblationSweepStep(seed),
+	))
+	fmt.Println()
+	fmt.Print(movr.RenderTrackingAblation(movr.RunAblationTrackingPeriod(seed)))
+}

@@ -1,0 +1,83 @@
+// Command movrtrace generates, inspects, and converts the seeded VR
+// motion traces the simulator replays (walking, head rotation, hand
+// raises in the 5 m × 5 m office).
+//
+// Usage:
+//
+//	movrtrace -seed 7 -duration 30s -out trace.json   # generate
+//	movrtrace -in trace.json                          # summarize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/movr-sim/movr/internal/vr"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "trace seed")
+	duration := flag.Duration("duration", 30*time.Second, "trace duration")
+	out := flag.String("out", "", "write generated trace JSON to this file ('-' for stdout)")
+	in := flag.String("in", "", "summarize an existing trace JSON file instead of generating")
+	flag.Parse()
+
+	if *in != "" {
+		summarizeFile(*in)
+		return
+	}
+
+	cfg := vr.DefaultTraceConfig(5, 5, *seed)
+	cfg.Duration = *duration
+	trace, err := vr.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	printSummary(trace)
+	if *out == "" {
+		return
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Save(w); err != nil {
+		fatal(err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %d samples to %s\n", len(trace), *out)
+	}
+}
+
+func summarizeFile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	trace, err := vr.Load(f)
+	if err != nil {
+		fatal(err)
+	}
+	printSummary(trace)
+}
+
+func printSummary(trace vr.Trace) {
+	s := vr.Summarize(trace)
+	fmt.Printf("samples:        %d (%v)\n", s.Samples, trace.Duration())
+	fmt.Printf("distance:       %.1f m (%.2f m/s mean)\n", s.DistanceM, s.MeanSpeedMps)
+	fmt.Printf("hand raised:    %.0f%% of the time\n", 100*s.HandUpFrac)
+	fmt.Printf("yaw range:      %.0f°\n", s.YawRangeDeg)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "movrtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+// Package movr is a full-system simulator and reference implementation of
+// MoVR, the programmable mmWave reflector for untethered virtual reality
+// from "Cutting the Cord in Virtual Reality" (Abari, Bharadia, Duffield,
+// Katabi — HotNets-XV, 2016).
+//
+// # What this package provides
+//
+// MoVR replaces the multi-Gbps HDMI tether between a VR PC and headset
+// with a 24 GHz mmWave link, and solves mmWave's blockage problem with a
+// wall-mounted programmable reflector: two steerable phased arrays joined
+// by a variable-gain amplifier, with no baseband of its own. This module
+// implements the complete system in pure Go (standard library only):
+//
+//   - the physical substrate: phased arrays with quantized phase
+//     shifters, a ray-traced indoor mmWave channel with knife-edge
+//     blockage, the 802.11ad MCS tables, an OFDM modem, and a
+//     saturating amplifier with a supply-current model;
+//   - the paper's two core algorithms: backscatter beam alignment
+//     (finding angles of incidence/reflection for a device that can
+//     neither transmit nor receive, §4.1) and current-sensing adaptive
+//     gain control (§4.2);
+//   - the systems around them: a Bluetooth-style control plane, an
+//     amplify-and-forward link budget, a path-selecting link manager
+//     with pose-driven beam tracking, VR motion traces, a discrete-event
+//     streaming simulator, and the paper's comparison baselines;
+//   - reproductions of every figure in the paper's evaluation (Fig 3,
+//     7, 8, 9) plus the §6 battery and latency analyses, exposed as
+//     seeded, deterministic experiments.
+//
+// # Quick start
+//
+//	result := movr.RunFig9(movr.DefaultFig9Config())
+//	fmt.Println(result.Render())
+//
+// or run the CLI:
+//
+//	go run ./cmd/movrsim all
+//
+// See DESIGN.md for the modelling decisions and EXPERIMENTS.md for
+// paper-vs-measured comparisons.
+package movr

@@ -1,0 +1,59 @@
+// Blockage: a single-link walkthrough of the paper's §3 measurement — how
+// much SNR and data rate survive as different obstacles cross the
+// line of sight, and what the best wall reflection can offer instead.
+package main
+
+import (
+	"fmt"
+
+	movr "github.com/movr-sim/movr"
+)
+
+func main() {
+	world := movr.NewWorld(1)
+	headset := world.NewHeadsetAt(movr.V(3.8, 3.1), 0)
+
+	fmt.Println("Blockage walkthrough (paper §3)")
+	fmt.Printf("AP at (0.4, 0.4), headset at (3.8, 3.1), 24 GHz, 802.11ad rates\n\n")
+
+	req := movr.HTCViveRequirement()
+	show := func(name string, snr float64) {
+		rate := movr.GbpsAtSNR(snr)
+		status := "OK for VR"
+		if !req.MetBySNR(snr) {
+			status = "FAILS VR"
+		}
+		fmt.Printf("  %-28s %6.1f dB   %5.2f Gb/s   %s\n", name, snr, rate, status)
+	}
+
+	// Clear line of sight.
+	show("line of sight", world.AlignedLOSSNR(headset))
+
+	// The paper's three blockage scenarios, beams still on the LOS.
+	mid := world.AP.Pos.Lerp(headset.Pos, 0.5)
+	toAP := world.AP.Pos.Sub(headset.Pos).AngleDeg()
+	scenarios := []struct {
+		name string
+		obs  movr.Obstacle
+	}{
+		{"blocked by hand", movr.Hand(headset.Pos.Add(movr.V(0.35, 0).Rotate(toAP)))},
+		{"blocked by head", movr.Head(headset.Pos.Add(movr.V(0.18, 0).Rotate(toAP)))},
+		{"blocked by another person", movr.Body(mid)},
+	}
+	for _, sc := range scenarios {
+		world.Room.ClearObstacles()
+		world.Room.AddObstacle(sc.obs)
+		world.FaceEachOther(headset)
+		show(sc.name, movr.LinkSNR(world.Tracer, &world.AP.Radio, &headset.Radio))
+	}
+
+	// Best non-line-of-sight: hand still up, sweep everything.
+	world.Room.ClearObstacles()
+	world.Room.AddObstacle(scenarios[0].obs)
+	res := movr.OptNLOS(world.Tracer, &world.AP.Radio, &headset.Radio, 2)
+	show("best wall reflection (NLOS)", res.SNRdB)
+	fmt.Printf("\n  NLOS winner: TX beam %.0f°, RX beam %.0f° after %d combinations\n",
+		res.TXBeamDeg, res.RXBeamDeg, res.Combos)
+	fmt.Println("\n  Conclusion (§3): neither blocked LOS nor wall reflections sustain")
+	fmt.Println("  VR — which is why MoVR adds an amplifying programmable mirror.")
+}

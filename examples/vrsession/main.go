@@ -1,0 +1,34 @@
+// VR session: stream an untethered VR play session over the simulated
+// mmWave link and compare three systems — no MoVR, MoVR with static
+// beams, and MoVR with pose-driven beam tracking (the paper's §6
+// proposal).
+//
+// The player walks, looks around, and raises a hand (all seeded and
+// reproducible); every 2160×1200@90 Hz frame must cross the link within
+// its 11 ms display interval or it is a visible glitch.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	movr "github.com/movr-sim/movr"
+)
+
+func main() {
+	cfg := movr.DefaultSessionConfig()
+	cfg.Duration = 20 * time.Second
+	cfg.Seed = 42
+
+	fmt.Println("MoVR end-to-end VR session (20 s, seeded motion)")
+	fmt.Printf("display: %v, required link rate %.1f Gbps\n\n",
+		movr.HTCVive(), movr.HTCVive().RawRateBps()/1e9)
+
+	result := movr.RunSession(cfg)
+	fmt.Print(result.Render())
+
+	fmt.Println("\nInterpretation: without MoVR, every hand raise and head turn that")
+	fmt.Println("breaks the line of sight stalls the stream; a static reflector only")
+	fmt.Println("helps near its aligned pose; pose-driven tracking keeps the stream")
+	fmt.Println("glitch-free — the untethered experience the paper argues for.")
+}

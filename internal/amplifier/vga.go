@@ -1,0 +1,198 @@
+// Package amplifier models the reflector's variable-gain amplifier chain:
+// the paper's prototype cascades a Quinstar QLW-2440 LNA, a Hittite
+// HMC712LP3C voltage-variable attenuator, and a Hittite HMC-C020 power
+// amplifier, driven by an AD7228 DAC and monitored by a TI INA169 current
+// sensor (§5).
+//
+// Three behaviours matter to MoVR's algorithms and are modelled here:
+//
+//  1. Gain is set digitally in small steps across a wide range.
+//  2. The output compresses toward a saturated power P_sat (Rapp model);
+//     a saturated amplifier produces "garbage signals".
+//  3. Supply current rises gently with output power in normal operation
+//     but spikes as the device enters compression — "amplifiers draw
+//     significantly higher current as they get close to saturation mode"
+//     (§4.2) — which is the only observable MoVR's gain control has.
+//
+// The amplifier also exposes an on/off port used as the OOK modulator for
+// the backscatter alignment protocol (§4.1).
+package amplifier
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/movr-sim/movr/internal/units"
+)
+
+// Config describes the amplifier chain.
+type Config struct {
+	// MinGainDB and MaxGainDB bound the programmable gain.
+	MinGainDB, MaxGainDB float64
+
+	// StepDB is the gain resolution of the control DAC.
+	StepDB float64
+
+	// PsatDBm is the saturated output power.
+	PsatDBm float64
+
+	// RappP is the Rapp model smoothness factor (typically 2-3).
+	RappP float64
+
+	// NoiseFigureDB is the chain's noise figure, dominated by the LNA.
+	NoiseFigureDB float64
+
+	// QuiescentA is the idle supply current (amperes).
+	QuiescentA float64
+
+	// SlopeA is the additional current drawn at full (saturated) output
+	// in linear operation.
+	SlopeA float64
+
+	// SpikeA is the extra current consumed once the device enters
+	// compression — the signature the gain-control algorithm detects.
+	SpikeA float64
+}
+
+// DefaultConfig returns a chain calibrated to the prototype's parts: up
+// to 50 dB of cascade gain in 0.5 dB steps, +20 dBm saturated output,
+// 5 dB noise figure.
+func DefaultConfig() Config {
+	return Config{
+		MinGainDB:     0,
+		MaxGainDB:     50,
+		StepDB:        0.5,
+		PsatDBm:       20,
+		RappP:         2,
+		NoiseFigureDB: 5,
+		QuiescentA:    0.35,
+		SlopeA:        0.45,
+		SpikeA:        0.6,
+	}
+}
+
+// VGA is a variable-gain amplifier chain with an on/off modulation port
+// and a supply-current model.
+type VGA struct {
+	cfg     Config
+	word    int
+	enabled bool
+}
+
+// New validates cfg and returns a VGA set to minimum gain, enabled.
+func New(cfg Config) (*VGA, error) {
+	if cfg.MaxGainDB < cfg.MinGainDB {
+		return nil, fmt.Errorf("amplifier: MaxGainDB %v < MinGainDB %v", cfg.MaxGainDB, cfg.MinGainDB)
+	}
+	if cfg.StepDB <= 0 {
+		return nil, fmt.Errorf("amplifier: StepDB %v must be positive", cfg.StepDB)
+	}
+	if cfg.RappP <= 0 {
+		return nil, fmt.Errorf("amplifier: RappP %v must be positive", cfg.RappP)
+	}
+	return &VGA{cfg: cfg, enabled: true}, nil
+}
+
+// Default returns a VGA with DefaultConfig.
+func Default() *VGA {
+	v, err := New(DefaultConfig())
+	if err != nil {
+		panic(err) // fixed literal config; cannot fail
+	}
+	return v
+}
+
+// Config returns the amplifier configuration.
+func (v *VGA) Config() Config { return v.cfg }
+
+// Words returns the number of valid gain words.
+func (v *VGA) Words() int {
+	return int((v.cfg.MaxGainDB-v.cfg.MinGainDB)/v.cfg.StepDB) + 1
+}
+
+// SetGainWord programs the DAC. Out-of-range words are clamped; the
+// applied word is returned.
+func (v *VGA) SetGainWord(w int) int {
+	if w < 0 {
+		w = 0
+	}
+	if max := v.Words() - 1; w > max {
+		w = max
+	}
+	v.word = w
+	return w
+}
+
+// GainWord returns the current DAC word.
+func (v *VGA) GainWord() int { return v.word }
+
+// GainDB returns the current small-signal gain.
+func (v *VGA) GainDB() float64 { return v.cfg.MinGainDB + float64(v.word)*v.cfg.StepDB }
+
+// SetGainDB programs the nearest representable gain and returns it.
+func (v *VGA) SetGainDB(g float64) float64 {
+	w := int(math.Round((g - v.cfg.MinGainDB) / v.cfg.StepDB))
+	v.SetGainWord(w)
+	return v.GainDB()
+}
+
+// SetEnabled switches the chain on or off; the off state is the "0" of
+// the backscatter OOK modulation.
+func (v *VGA) SetEnabled(on bool) { v.enabled = on }
+
+// Enabled reports whether the chain is on.
+func (v *VGA) Enabled() bool { return v.enabled }
+
+// OutputPowerDBm returns the output power for a given input power,
+// applying the Rapp saturation model:
+//
+//	v_out = g·v_in / (1 + (g·v_in/v_sat)^(2p))^(1/(2p))
+//
+// A disabled amplifier outputs nothing (−Inf dBm).
+func (v *VGA) OutputPowerDBm(inDBm float64) float64 {
+	if !v.enabled {
+		return math.Inf(-1)
+	}
+	ideal := inDBm + v.GainDB()
+	// Work in normalized voltage: x = v_ideal/v_sat in linear amplitude.
+	x := math.Pow(10, (ideal-v.cfg.PsatDBm)/20)
+	p2 := 2 * v.cfg.RappP
+	out := x / math.Pow(1+math.Pow(x, p2), 1/p2)
+	return v.cfg.PsatDBm + 20*math.Log10(out)
+}
+
+// CompressionDB returns how far the output is compressed below the ideal
+// linear output, in dB (0 = fully linear).
+func (v *VGA) CompressionDB(inDBm float64) float64 {
+	if !v.enabled {
+		return 0
+	}
+	return inDBm + v.GainDB() - v.OutputPowerDBm(inDBm)
+}
+
+// Saturated reports whether the device is meaningfully compressed
+// (≥ 1 dB) at the given input power — the paper's "saturation mode" in
+// which the output is garbage.
+func (v *VGA) Saturated(inDBm float64) bool { return v.CompressionDB(inDBm) >= 1 }
+
+// SupplyCurrentA models the DC current drawn from the supply at the given
+// input power. It rises smoothly with output power in linear operation
+// and spikes as compression sets in; the spike is what the INA169-based
+// sensing in the gain-control algorithm detects.
+func (v *VGA) SupplyCurrentA(inDBm float64) float64 {
+	if !v.enabled {
+		return 0.02 // standby draw
+	}
+	outLin := units.DBmToMilliwatts(v.OutputPowerDBm(inDBm))
+	satLin := units.DBmToMilliwatts(v.cfg.PsatDBm)
+	frac := outLin / satLin
+	if frac > 1 {
+		frac = 1
+	}
+	// Class-AB-like: current grows with the output envelope.
+	i := v.cfg.QuiescentA + v.cfg.SlopeA*math.Sqrt(frac)
+	// Compression spike: logistic in compression depth, centred at 1 dB.
+	c := v.CompressionDB(inDBm)
+	i += v.cfg.SpikeA / (1 + math.Exp(-(c-1)/0.15))
+	return i
+}

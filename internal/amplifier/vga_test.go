@@ -1,0 +1,218 @@
+package amplifier
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{MinGainDB: 10, MaxGainDB: 0, StepDB: 0.5, RappP: 2},
+		{MinGainDB: 0, MaxGainDB: 60, StepDB: 0, RappP: 2},
+		{MinGainDB: 0, MaxGainDB: 60, StepDB: 0.5, RappP: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGainWords(t *testing.T) {
+	v := Default()
+	if v.Words() != 101 {
+		t.Errorf("Words = %d, want 101 (0-50 dB in 0.5 steps)", v.Words())
+	}
+	if v.GainDB() != 0 {
+		t.Errorf("initial gain = %v, want min", v.GainDB())
+	}
+	v.SetGainWord(20)
+	if v.GainDB() != 10 {
+		t.Errorf("gain at word 20 = %v, want 10", v.GainDB())
+	}
+	// Clamping.
+	if got := v.SetGainWord(-5); got != 0 {
+		t.Errorf("negative word clamped to %d", got)
+	}
+	if got := v.SetGainWord(1000); got != 100 {
+		t.Errorf("oversized word clamped to %d", got)
+	}
+	// SetGainDB rounds to the nearest step.
+	if got := v.SetGainDB(33.3); got != 33.5 {
+		t.Errorf("SetGainDB(33.3) = %v, want 33.5", got)
+	}
+	if got := v.SetGainDB(200); got != 50 {
+		t.Errorf("SetGainDB(200) = %v, want clamp to 50", got)
+	}
+}
+
+func TestLinearRegionGain(t *testing.T) {
+	v := Default()
+	v.SetGainDB(30)
+	// Small signal far below saturation: out = in + gain.
+	out := v.OutputPowerDBm(-60)
+	if math.Abs(out-(-30)) > 0.01 {
+		t.Errorf("linear output = %v, want -30", out)
+	}
+	if v.Saturated(-60) {
+		t.Error("should not be saturated at tiny input")
+	}
+	if c := v.CompressionDB(-60); c > 0.01 {
+		t.Errorf("compression at tiny input = %v", c)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	v := Default()
+	v.SetGainDB(50)
+	// Ideal output would be +30 dBm, 10 dB above Psat: deeply compressed.
+	out := v.OutputPowerDBm(-20)
+	if out > v.Config().PsatDBm+0.1 {
+		t.Errorf("output %v exceeds Psat %v", out, v.Config().PsatDBm)
+	}
+	if !v.Saturated(-20) {
+		t.Error("should be saturated")
+	}
+	// Output monotone in input even while compressed.
+	if v.OutputPowerDBm(-15) < out {
+		t.Error("output should not decrease with more input")
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	v := Default()
+	v.SetEnabled(false)
+	if v.Enabled() {
+		t.Error("Enabled should be false")
+	}
+	if !math.IsInf(v.OutputPowerDBm(-30), -1) {
+		t.Error("disabled output should be -Inf")
+	}
+	if i := v.SupplyCurrentA(-30); i > 0.05 {
+		t.Errorf("standby current = %v", i)
+	}
+	if v.Saturated(-30) || v.CompressionDB(-30) != 0 {
+		t.Error("disabled amp can't be saturated")
+	}
+	v.SetEnabled(true)
+	if math.IsInf(v.OutputPowerDBm(-30), -1) {
+		t.Error("re-enabled amp should amplify")
+	}
+}
+
+func TestCurrentSpikeAtCompression(t *testing.T) {
+	// Walk the gain up in steps at fixed input; the per-step current
+	// delta must jump sharply when compression sets in — this is the
+	// knee the §4.2 algorithm detects.
+	v := Default()
+	in := -25.0
+	prev := math.NaN()
+	kneeWord := -1
+	for w := 0; w < v.Words(); w++ {
+		v.SetGainWord(w)
+		i := v.SupplyCurrentA(in)
+		if !math.IsNaN(prev) {
+			if d := i - prev; kneeWord < 0 && d > 0.05 {
+				kneeWord = w
+			}
+		}
+		prev = i
+	}
+	if kneeWord < 0 {
+		t.Fatal("no current knee found")
+	}
+	kneeGain := v.Config().MinGainDB + float64(kneeWord)*v.Config().StepDB
+	// The knee should sit within a few dB of the gain at which the
+	// ideal output crosses Psat: gain = Psat − in = 45.
+	if math.Abs(kneeGain-45) > 5 {
+		t.Errorf("current knee at gain %v dB, want ~45", kneeGain)
+	}
+}
+
+func TestCurrentMonotoneInGain(t *testing.T) {
+	v := Default()
+	prev := -1.0
+	for w := 0; w < v.Words(); w++ {
+		v.SetGainWord(w)
+		i := v.SupplyCurrentA(-40)
+		if i < prev-1e-12 {
+			t.Fatalf("current decreased at word %d", w)
+		}
+		prev = i
+	}
+}
+
+func TestOOKModulationContrast(t *testing.T) {
+	// The backscatter protocol needs a large on/off contrast.
+	v := Default()
+	v.SetGainDB(40)
+	on := v.OutputPowerDBm(-40)
+	v.SetEnabled(false)
+	off := v.OutputPowerDBm(-40)
+	if !math.IsInf(off, -1) || on < -10 {
+		t.Errorf("OOK contrast insufficient: on=%v off=%v", on, off)
+	}
+}
+
+// Property: output power never exceeds Psat + epsilon, and never exceeds
+// the ideal linear output.
+func TestQuickOutputBounds(t *testing.T) {
+	v := Default()
+	f := func(in, g float64) bool {
+		in = math.Mod(in, 80) - 60 // -140..20 dBm
+		g = math.Abs(math.Mod(g, 60))
+		if math.IsNaN(in) || math.IsNaN(g) {
+			return true
+		}
+		v.SetGainDB(g)
+		out := v.OutputPowerDBm(in)
+		return out <= v.Config().PsatDBm+1e-9 && out <= in+v.GainDB()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: supply current is bounded by quiescent + slope + spike.
+func TestQuickCurrentBounds(t *testing.T) {
+	v := Default()
+	cfg := v.Config()
+	maxI := cfg.QuiescentA + cfg.SlopeA + cfg.SpikeA
+	f := func(in, g float64) bool {
+		in = math.Mod(in, 100) - 50
+		g = math.Abs(math.Mod(g, 60))
+		if math.IsNaN(in) || math.IsNaN(g) {
+			return true
+		}
+		v.SetGainDB(g)
+		i := v.SupplyCurrentA(in)
+		return i >= cfg.QuiescentA-1e-12 && i <= maxI+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: compression is monotone nondecreasing in input power.
+func TestQuickCompressionMonotone(t *testing.T) {
+	v := Default()
+	v.SetGainDB(50)
+	f := func(a, b float64) bool {
+		p1 := math.Mod(a, 60) - 50
+		p2 := math.Mod(b, 60) - 50
+		if math.IsNaN(p1) || math.IsNaN(p2) {
+			return true
+		}
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return v.CompressionDB(p1) <= v.CompressionDB(p2)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

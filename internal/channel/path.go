@@ -1,0 +1,322 @@
+// Package channel implements the mmWave propagation model: a ray tracer
+// over the room geometry (direct path plus first- and second-order
+// specular wall reflections via the image method), knife-edge diffraction
+// losses for obstacles, and the link-budget arithmetic that converts a
+// traced path into received power and SNR.
+//
+// The model captures the three facts the paper's measurements hinge on
+// (§3): a clear line-of-sight mmWave link has ample SNR; blocking it with
+// a hand/head/body costs 14-30 dB; and falling back to wall reflections
+// costs ~16 dB because "walls are not perfect reflectors" and reflected
+// paths are longer.
+package channel
+
+import (
+	"math"
+
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/room"
+	"github.com/movr-sim/movr/internal/units"
+)
+
+// PathKind distinguishes direct from wall-reflected rays.
+type PathKind int
+
+const (
+	// Direct is the straight-line path.
+	Direct PathKind = iota
+	// Reflected is a specular wall-reflection path (one or two bounces).
+	Reflected
+)
+
+// String returns a human-readable path kind.
+func (k PathKind) String() string {
+	switch k {
+	case Direct:
+		return "direct"
+	case Reflected:
+		return "reflected"
+	default:
+		return "unknown"
+	}
+}
+
+// Path is one propagation ray from a transmitter to a receiver.
+type Path struct {
+	// Kind is Direct or Reflected.
+	Kind PathKind
+
+	// Points traces the ray: transmitter, bounce points (if any),
+	// receiver.
+	Points []geom.Vec
+
+	// Bounces is the number of wall reflections (0 for direct).
+	Bounces int
+
+	// AoDDeg is the angle of departure at the transmitter (world deg).
+	AoDDeg float64
+
+	// AoADeg is the angle of arrival at the receiver, i.e. the direction
+	// the receiver must point its beam (world deg).
+	AoADeg float64
+
+	// LengthM is the total unfolded path length.
+	LengthM float64
+
+	// ReflLossDB is the total specular reflection loss over all bounces.
+	ReflLossDB float64
+
+	// BlockLossDB is the total obstacle diffraction/shadowing loss over
+	// all legs.
+	BlockLossDB float64
+}
+
+// PropagationLossDB returns the path's total propagation loss at the given
+// carrier frequency: free-space spreading over the unfolded length plus
+// atmospheric absorption, reflection, and blockage losses.
+func (p Path) PropagationLossDB(freqHz float64) float64 {
+	return units.FSPL(p.LengthM, freqHz) + AtmosphericLossDB(p.LengthM, freqHz) +
+		p.ReflLossDB + p.BlockLossDB
+}
+
+// AtmosphericLossDB returns gaseous absorption over a path. It matters
+// only near the 60 GHz oxygen resonance (~15 dB/km), where 802.11ad
+// operates; at 24 GHz it is negligible (~0.1 dB/km). Indoor distances
+// make both small, but the model keeps the physics honest when
+// experiments switch carriers.
+func AtmosphericLossDB(distanceM, freqHz float64) float64 {
+	var dBPerKm float64
+	switch {
+	case freqHz >= 57e9 && freqHz <= 64e9:
+		dBPerKm = 15 // oxygen absorption band
+	case freqHz >= 20e9:
+		dBPerKm = 0.1
+	default:
+		dBPerKm = 0.01
+	}
+	return dBPerKm * distanceM / 1000
+}
+
+// Blocked reports whether the path suffers any obstacle loss beyond
+// the given threshold (default sense: any loss at all).
+func (p Path) Blocked(thresholdDB float64) bool { return p.BlockLossDB > thresholdDB }
+
+// Standard mounting heights in the testbed. The floor plan is 2-D, but
+// blockage is computed in 2.5-D: a ray between elevated endpoints can
+// pass over a person's head, which is what lets the wall-mounted
+// reflector keep a clear view of the AP while players mill about below.
+const (
+	// HeightAPM is the AP's mount height (tripod next to the PC).
+	HeightAPM = 1.5
+
+	// HeightReflectorM is the reflector's wall-mount height.
+	HeightReflectorM = 2.3
+
+	// HeightHeadsetM is the headset height on a standing player.
+	HeightHeadsetM = 1.7
+
+	// DefaultEndpointHeightM is used when callers do not specify.
+	DefaultEndpointHeightM = HeightHeadsetM
+)
+
+// Tracer finds propagation paths between points in a room.
+type Tracer struct {
+	// Room is the environment to trace in.
+	Room *room.Room
+
+	// FreqHz is the carrier frequency (used by diffraction math).
+	FreqHz float64
+
+	// MaxBounces limits reflection order: 0 = direct only, 1 = direct +
+	// single bounce, 2 adds double bounces.
+	MaxBounces int
+}
+
+// NewTracer returns a Tracer for the room at the given carrier with the
+// given maximum reflection order (clamped to [0, 2]).
+func NewTracer(rm *room.Room, freqHz float64, maxBounces int) *Tracer {
+	if maxBounces < 0 {
+		maxBounces = 0
+	}
+	if maxBounces > 2 {
+		maxBounces = 2
+	}
+	return &Tracer{Room: rm, FreqHz: freqHz, MaxBounces: maxBounces}
+}
+
+// Trace returns all propagation paths from tx to rx at the default
+// (headset) endpoint heights. See TraceH.
+func (t *Tracer) Trace(tx, rx geom.Vec) []Path {
+	return t.TraceH(tx, rx, DefaultEndpointHeightM, DefaultEndpointHeightM)
+}
+
+// TraceH returns all propagation paths from tx (at height hTx metres) to
+// rx (at height hRx) up to the configured reflection order: always the
+// direct path (with whatever blockage loss it suffers), plus valid
+// specular reflections. Paths are returned in ascending order of total
+// propagation loss.
+func (t *Tracer) TraceH(tx, rx geom.Vec, hTx, hRx float64) []Path {
+	paths := []Path{t.direct(tx, rx, hTx, hRx)}
+	if t.MaxBounces >= 1 {
+		paths = append(paths, t.singleBounce(tx, rx, hTx, hRx)...)
+	}
+	if t.MaxBounces >= 2 {
+		paths = append(paths, t.doubleBounce(tx, rx, hTx, hRx)...)
+	}
+	// Sort ascending by loss (insertion sort; path counts are small).
+	for i := 1; i < len(paths); i++ {
+		for j := i; j > 0 && paths[j].PropagationLossDB(t.FreqHz) < paths[j-1].PropagationLossDB(t.FreqHz); j-- {
+			paths[j], paths[j-1] = paths[j-1], paths[j]
+		}
+	}
+	return paths
+}
+
+// direct builds the straight-line path, accumulating obstacle losses.
+func (t *Tracer) direct(tx, rx geom.Vec, hTx, hRx float64) Path {
+	return Path{
+		Kind:        Direct,
+		Points:      []geom.Vec{tx, rx},
+		Bounces:     0,
+		AoDDeg:      units.NormalizeDeg(geom.DirectionDeg(tx, rx)),
+		AoADeg:      units.NormalizeDeg(geom.DirectionDeg(rx, tx)),
+		LengthM:     tx.Dist(rx),
+		BlockLossDB: t.legBlockageDB(tx, rx, hTx, hRx),
+	}
+}
+
+// singleBounce builds one-reflection paths off every wall. Bounce points
+// are assumed at the interpolated ray height (walls span floor to
+// ceiling).
+func (t *Tracer) singleBounce(tx, rx geom.Vec, hTx, hRx float64) []Path {
+	var paths []Path
+	for _, w := range t.Room.Walls() {
+		hit, ok := geom.SpecularPoint(tx, rx, w.Seg)
+		if !ok {
+			continue
+		}
+		l1 := tx.Dist(hit)
+		total := l1 + hit.Dist(rx)
+		hHit := hTx + (hRx-hTx)*l1/total
+		p := Path{
+			Kind:        Reflected,
+			Points:      []geom.Vec{tx, hit, rx},
+			Bounces:     1,
+			AoDDeg:      units.NormalizeDeg(geom.DirectionDeg(tx, hit)),
+			AoADeg:      units.NormalizeDeg(geom.DirectionDeg(rx, hit)),
+			LengthM:     total,
+			ReflLossDB:  w.Mat.ReflLossDB,
+			BlockLossDB: t.legBlockageDB(tx, hit, hTx, hHit) + t.legBlockageDB(hit, rx, hHit, hRx),
+		}
+		paths = append(paths, p)
+	}
+	return paths
+}
+
+// doubleBounce builds two-reflection paths off ordered wall pairs using
+// the double image method.
+func (t *Tracer) doubleBounce(tx, rx geom.Vec, hTx, hRx float64) []Path {
+	var paths []Path
+	walls := t.Room.Walls()
+	for i, w1 := range walls {
+		img1 := geom.MirrorPoint(tx, w1.Seg)
+		for j, w2 := range walls {
+			if i == j {
+				continue
+			}
+			// Reflection point on w2 comes from the second-order image.
+			hit2, ok := geom.SpecularPoint(img1, rx, w2.Seg)
+			if !ok {
+				continue
+			}
+			// Reflection point on w1 from tx toward hit2.
+			hit1, ok := geom.SpecularPoint(tx, hit2, w1.Seg)
+			if !ok {
+				continue
+			}
+			l1 := tx.Dist(hit1)
+			l2 := hit1.Dist(hit2)
+			l3 := hit2.Dist(rx)
+			total := l1 + l2 + l3
+			h1 := hTx + (hRx-hTx)*l1/total
+			h2 := hTx + (hRx-hTx)*(l1+l2)/total
+			p := Path{
+				Kind:    Reflected,
+				Points:  []geom.Vec{tx, hit1, hit2, rx},
+				Bounces: 2,
+				AoDDeg:  units.NormalizeDeg(geom.DirectionDeg(tx, hit1)),
+				AoADeg:  units.NormalizeDeg(geom.DirectionDeg(rx, hit2)),
+				LengthM: total,
+				ReflLossDB: w1.Mat.ReflLossDB +
+					w2.Mat.ReflLossDB,
+				BlockLossDB: t.legBlockageDB(tx, hit1, hTx, h1) +
+					t.legBlockageDB(hit1, hit2, h1, h2) +
+					t.legBlockageDB(hit2, rx, h2, hRx),
+			}
+			paths = append(paths, p)
+		}
+	}
+	return paths
+}
+
+// legBlockageDB sums the knife-edge diffraction losses of all obstacles
+// crossing or grazing the leg a→b with endpoint heights hA→hB.
+func (t *Tracer) legBlockageDB(a, b geom.Vec, hA, hB float64) float64 {
+	lambda := units.Wavelength(t.FreqHz)
+	seg := geom.Seg(a, b)
+	total := 0.0
+	for _, o := range t.Room.Obstacles() {
+		total += obstacleLossDB(seg, o, lambda, hA, hB)
+	}
+	return total
+}
+
+// obstacleLossDB computes the shadowing loss a single cylindrical
+// obstacle imposes on the leg. Horizontally the beam diffracts around
+// both edges of the cylinder (double knife edge); vertically it can
+// diffract over the obstacle's top when the ray runs above it. The beam
+// takes the easiest escape, so the contribution is the minimum of the
+// two, capped at the obstacle's material-dependent maximum.
+func obstacleLossDB(seg geom.Segment, o room.Obstacle, lambda float64, hA, hB float64) float64 {
+	closest := seg.ClosestPoint(o.Shape.C)
+	dc := closest.Dist(o.Shape.C)
+	d1 := seg.A.Dist(closest)
+	d2 := seg.B.Dist(closest)
+	if d1 < 1e-6 || d2 < 1e-6 {
+		// The obstacle sits on top of an endpoint (e.g. the player's own
+		// head next to the headset): treat centre-overlap as full shadow,
+		// otherwise clear.
+		if dc < o.Shape.R {
+			return o.MaxLossDB
+		}
+		return 0
+	}
+	// Fresnel geometry factor.
+	f := math.Sqrt(2 * (d1 + d2) / (lambda * d1 * d2))
+
+	// Horizontal diffraction around the cylinder.
+	var horiz float64
+	if dc >= o.Shape.R {
+		// Grazing/clear: single knife edge with clearance.
+		horiz = knifeEdgeJ((o.Shape.R - dc) * f)
+	} else {
+		// Path cuts through the disc: both edges.
+		horiz = knifeEdgeJ((o.Shape.R-dc)*f) + knifeEdgeJ((o.Shape.R+dc)*f)
+	}
+
+	// Vertical diffraction over the top: ray height at the obstacle.
+	rayH := hA + (hB-hA)*d1/(d1+d2)
+	vert := knifeEdgeJ((o.HeightM - rayH) * f)
+
+	return math.Min(math.Min(horiz, vert), o.MaxLossDB)
+}
+
+// knifeEdgeJ is the ITU-R P.526 single knife-edge diffraction loss
+// approximation, valid for v > −0.78; smaller v means full clearance and
+// zero loss.
+func knifeEdgeJ(v float64) float64 {
+	if v <= -0.78 {
+		return 0
+	}
+	return 6.9 + 20*math.Log10(math.Sqrt((v-0.1)*(v-0.1)+1)+v-0.1)
+}

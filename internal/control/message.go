@@ -1,0 +1,152 @@
+// Package control implements the out-of-band control plane between the
+// mmWave AP and MoVR reflectors: "MoVR has a bluetooth link with the AP
+// to exchange control information. Our prototype uses an Arduino to run
+// its control protocol" (§4).
+//
+// The wire format is a compact binary frame (little-endian, checksummed)
+// so the protocol could run over a real BLE GATT characteristic
+// unchanged. The simulated link injects latency and loss, and the
+// endpoint implements the retry discipline a lossy control channel
+// needs.
+package control
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// MsgType enumerates control messages.
+type MsgType uint8
+
+const (
+	// MsgSetRXBeam steers the reflector's receive beam (Angle in
+	// centidegrees).
+	MsgSetRXBeam MsgType = iota + 1
+
+	// MsgSetTXBeam steers the reflector's transmit beam.
+	MsgSetTXBeam
+
+	// MsgSetBothBeams steers both beams to the same angle (alignment
+	// sweep state).
+	MsgSetBothBeams
+
+	// MsgSetGainWord programs the amplifier gain DAC.
+	MsgSetGainWord
+
+	// MsgSetModulation turns the OOK alignment modulation on/off.
+	MsgSetModulation
+
+	// MsgReadCurrent asks for the amplifier supply current.
+	MsgReadCurrent
+
+	// MsgAck acknowledges a command; Value carries a reading when the
+	// command requested one.
+	MsgAck
+
+	// MsgNack reports a rejected command.
+	MsgNack
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgSetRXBeam:
+		return "set-rx-beam"
+	case MsgSetTXBeam:
+		return "set-tx-beam"
+	case MsgSetBothBeams:
+		return "set-both-beams"
+	case MsgSetGainWord:
+		return "set-gain-word"
+	case MsgSetModulation:
+		return "set-modulation"
+	case MsgReadCurrent:
+		return "read-current"
+	case MsgAck:
+		return "ack"
+	case MsgNack:
+		return "nack"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(t))
+	}
+}
+
+// Message is one control frame.
+type Message struct {
+	// Type selects the operation.
+	Type MsgType
+
+	// Seq matches replies to requests.
+	Seq uint16
+
+	// Value carries the operand: beam angle in centidegrees, gain word,
+	// modulation frequency in Hz, or a returned reading scaled by 1e6
+	// (e.g. microamps for current).
+	Value int32
+}
+
+// frame layout: magic(1) type(1) seq(2) value(4) checksum(1) = 9 bytes.
+const (
+	frameMagic = 0xA5
+	// FrameLen is the encoded size of a control frame in bytes.
+	FrameLen = 9
+)
+
+// Marshal encodes the message into its 9-byte frame.
+func (m Message) Marshal() []byte {
+	b := make([]byte, FrameLen)
+	b[0] = frameMagic
+	b[1] = byte(m.Type)
+	binary.LittleEndian.PutUint16(b[2:4], m.Seq)
+	binary.LittleEndian.PutUint32(b[4:8], uint32(m.Value))
+	b[8] = checksum(b[:8])
+	return b
+}
+
+// Unmarshal decodes a frame, validating magic and checksum.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) != FrameLen {
+		return Message{}, fmt.Errorf("control: frame length %d, want %d", len(b), FrameLen)
+	}
+	if b[0] != frameMagic {
+		return Message{}, fmt.Errorf("control: bad magic 0x%02x", b[0])
+	}
+	if got, want := checksum(b[:8]), b[8]; got != want {
+		return Message{}, fmt.Errorf("control: checksum 0x%02x, want 0x%02x", got, want)
+	}
+	return Message{
+		Type:  MsgType(b[1]),
+		Seq:   binary.LittleEndian.Uint16(b[2:4]),
+		Value: int32(binary.LittleEndian.Uint32(b[4:8])),
+	}, nil
+}
+
+// checksum is a simple XOR-fold with position salt, enough to catch the
+// bit errors a noisy control link produces.
+func checksum(b []byte) byte {
+	var c byte
+	for i, v := range b {
+		c ^= v + byte(i)*31
+	}
+	return c
+}
+
+// AngleToWire converts a world angle in degrees to the wire encoding
+// (centidegrees, wrapped to [0, 36000)).
+func AngleToWire(deg float64) int32 {
+	d := math.Mod(deg, 360)
+	if d < 0 {
+		d += 360
+	}
+	return int32(math.Round(d * 100))
+}
+
+// WireToAngle converts the wire encoding back to degrees.
+func WireToAngle(v int32) float64 { return float64(v) / 100 }
+
+// CurrentToWire converts amperes to the wire encoding (microamps).
+func CurrentToWire(amps float64) int32 { return int32(math.Round(amps * 1e6)) }
+
+// WireToCurrent converts the wire encoding back to amperes.
+func WireToCurrent(v int32) float64 { return float64(v) / 1e6 }

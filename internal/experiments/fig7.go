@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/reflector"
+	"github.com/movr-sim/movr/internal/stats"
+)
+
+// Fig7Config parameterizes the leakage characterization.
+type Fig7Config struct {
+	// RXAngles are the fixed receive-beam angles, in the paper's
+	// array-relative convention (boresight = 90°). Fig 7 uses 50° and
+	// 65°.
+	RXAngles []float64
+
+	// TXFromDeg..TXToDeg is the transmit-beam sweep range (paper:
+	// 40-140°).
+	TXFromDeg, TXToDeg float64
+
+	// StepDeg is the sweep granularity.
+	StepDeg float64
+
+	// Seed selects the device instance.
+	Seed int64
+}
+
+// DefaultFig7Config mirrors the paper's axes.
+func DefaultFig7Config() Fig7Config {
+	return Fig7Config{
+		RXAngles:  []float64{50, 65},
+		TXFromDeg: 40,
+		TXToDeg:   140,
+		StepDeg:   1,
+		Seed:      1,
+	}
+}
+
+// Fig7Result holds leakage sweeps per RX angle. Leakage values are
+// negative dB (coupling gain), matching the paper's y-axis.
+type Fig7Result struct {
+	TXAngles []float64
+	// LeakageDB maps "Rx angle 50" style labels to per-TX-angle leakage
+	// values (negative dB).
+	LeakageDB map[string][]float64
+}
+
+// Fig7 reproduces the TX→RX leakage characterization: sweep the transmit
+// beam with the receive beam fixed and record the coupling. The paper's
+// angles are array-relative with broadside at 90°; the device here is
+// mounted at 90° world so the conventions coincide.
+func Fig7(cfg Fig7Config) Fig7Result {
+	if len(cfg.RXAngles) == 0 {
+		cfg.RXAngles = []float64{50, 65}
+	}
+	if cfg.StepDeg <= 0 {
+		cfg.StepDeg = 1
+	}
+	devCfg := reflector.DefaultConfig(geom.V(2.5, 0), 90)
+	devCfg.Seed = cfg.Seed
+	dev, err := reflector.New(devCfg)
+	if err != nil {
+		panic(err) // default-derived config cannot fail
+	}
+	res := Fig7Result{LeakageDB: map[string][]float64{}}
+	for a := cfg.TXFromDeg; a <= cfg.TXToDeg+1e-9; a += cfg.StepDeg {
+		res.TXAngles = append(res.TXAngles, a)
+	}
+	for _, rx := range cfg.RXAngles {
+		dev.SetRXBeam(rx) // paper convention == world angle at mount 90
+		key := fmt.Sprintf("Rx angle %.0f", rx)
+		vals := make([]float64, 0, len(res.TXAngles))
+		for _, tx := range res.TXAngles {
+			dev.SetTXBeam(tx)
+			vals = append(vals, -dev.LeakageDB())
+		}
+		res.LeakageDB[key] = vals
+	}
+	return res
+}
+
+// Swing returns the peak-to-peak leakage variation for a series label.
+func (r Fig7Result) Swing(key string) float64 {
+	vals := r.LeakageDB[key]
+	if len(vals) == 0 {
+		return 0
+	}
+	return stats.Max(vals) - stats.Min(vals)
+}
+
+// Render prints the leakage sweeps as a line plot plus summary table.
+func (r Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — TX→RX leakage vs beam angles\n\n")
+	b.WriteString(LinePlot("Leakage (dB) vs TX beam angle", r.TXAngles, r.LeakageDB, 70, 14))
+	b.WriteByte('\n')
+	var rows [][]string
+	for _, key := range sortedKeys(r.LeakageDB) {
+		vals := r.LeakageDB[key]
+		rows = append(rows, []string{
+			key,
+			fmt.Sprintf("%.1f", stats.Min(vals)),
+			fmt.Sprintf("%.1f", stats.Max(vals)),
+			fmt.Sprintf("%.1f", r.Swing(key)),
+		})
+	}
+	b.WriteString(Table([]string{"series", "min (dB)", "max (dB)", "swing (dB)"}, rows))
+	return b.String()
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/movr-sim/movr/internal/stats"
+)
+
+// Table renders a fixed-width text table with a header row.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// BarChart renders labelled horizontal bars with a reference line, used
+// for the Fig 3 reproduction. Values are clamped at lo.
+func BarChart(title string, labels []string, values []float64, lo, hi float64, refLabel string, ref float64, unit string) string {
+	const width = 46
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	refCol := int((ref - lo) / span * width)
+	for i, label := range labels {
+		v := values[i]
+		vc := math.Max(lo, math.Min(hi, v))
+		n := int((vc - lo) / span * width)
+		bar := strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+		if refCol >= 0 && refCol < width {
+			marker := "|"
+			if refCol < n {
+				marker = "+"
+			}
+			bar = bar[:refCol] + marker + bar[refCol+1:]
+		}
+		fmt.Fprintf(&b, "  %-18s [%s] %6.2f %s\n", label, bar, v, unit)
+	}
+	fmt.Fprintf(&b, "  %-18s  %s marks %q = %.2f %s\n", "", "|", refLabel, ref, unit)
+	return b.String()
+}
+
+// CDFPlot renders one or more empirical CDFs as ASCII art over a shared
+// x-range — the Fig 9 presentation.
+func CDFPlot(title string, series map[string][]float64, width, height int) string {
+	if width <= 10 {
+		width = 60
+	}
+	if height <= 4 {
+		height = 16
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, xs := range series {
+		if len(xs) == 0 {
+			continue
+		}
+		lo = math.Min(lo, stats.Min(xs))
+		hi = math.Max(hi, stats.Max(xs))
+	}
+	if math.IsInf(lo, 1) {
+		return title + "\n  (no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#'}
+	names := sortedKeys(series)
+	for si, name := range names {
+		xs := series[name]
+		if len(xs) == 0 {
+			continue
+		}
+		cdf := stats.NewCDF(xs)
+		m := markers[si%len(markers)]
+		for col := 0; col < width; col++ {
+			x := lo + (hi-lo)*float64(col)/float64(width-1)
+			p := cdf.At(x)
+			row := height - 1 - int(p*float64(height-1))
+			grid[row][col] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		p := 1 - float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "  %4.2f |%s|\n", p, string(row))
+	}
+	fmt.Fprintf(&b, "       %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "       %-10.1f%*.1f\n", lo, width-10, hi)
+	for si, name := range names {
+		fmt.Fprintf(&b, "       %c = %s (n=%d)\n", markers[si%len(markers)], name, len(series[name]))
+	}
+	return b.String()
+}
+
+// ScatterPlot renders (x, y) pairs with an optional y=x diagonal — the
+// Fig 8 presentation (estimated vs actual angle).
+func ScatterPlot(title string, xs, ys []float64, diagonal bool, width, height int) string {
+	if width <= 10 {
+		width = 60
+	}
+	if height <= 4 {
+		height = 20
+	}
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return title + "\n  (no data)\n"
+	}
+	lo := math.Min(stats.Min(xs), stats.Min(ys))
+	hi := math.Max(stats.Max(xs), stats.Max(ys))
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(x, y float64, m byte) {
+		col := int((x - lo) / (hi - lo) * float64(width-1))
+		row := height - 1 - int((y-lo)/(hi-lo)*float64(height-1))
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = m
+		}
+	}
+	if diagonal {
+		for c := 0; c < width; c++ {
+			v := lo + (hi-lo)*float64(c)/float64(width-1)
+			put(v, v, '.')
+		}
+	}
+	for i := range xs {
+		put(xs[i], ys[i], '*')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "  |%s|\n", string(row))
+	}
+	fmt.Fprintf(&b, "   %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "   %-10.1f%*.1f\n", lo, width-10, hi)
+	if diagonal {
+		b.WriteString("   . = ground truth (y=x), * = estimates\n")
+	}
+	return b.String()
+}
+
+// LinePlot renders y(x) series as ASCII — the Fig 7 presentation.
+func LinePlot(title string, xs []float64, series map[string][]float64, width, height int) string {
+	if width <= 10 {
+		width = 70
+	}
+	if height <= 4 {
+		height = 14
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, ys := range series {
+		lo = math.Min(lo, stats.Min(ys))
+		hi = math.Max(hi, stats.Max(ys))
+	}
+	if math.IsInf(lo, 1) || len(xs) == 0 {
+		return title + "\n  (no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte{'*', 'o', '+', 'x'}
+	names := sortedKeys(series)
+	for si, name := range names {
+		ys := series[name]
+		m := markers[si%len(markers)]
+		for i, y := range ys {
+			col := int(float64(i) / float64(len(ys)-1) * float64(width-1))
+			row := height - 1 - int((y-lo)/(hi-lo)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = m
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (y: %.1f..%.1f)\n", title, lo, hi)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "  |%s|\n", string(row))
+	}
+	fmt.Fprintf(&b, "   %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "   x: %.0f..%.0f\n", xs[0], xs[len(xs)-1])
+	for si, name := range names {
+		fmt.Fprintf(&b, "   %c = %s\n", markers[si%len(markers)], name)
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string][]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/movr-sim/movr/internal/control"
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/linkmgr"
+	"github.com/movr-sim/movr/internal/reflector"
+	"github.com/movr-sim/movr/internal/room"
+	"github.com/movr-sim/movr/internal/sim"
+	"github.com/movr-sim/movr/internal/stream"
+	"github.com/movr-sim/movr/internal/units"
+	"github.com/movr-sim/movr/internal/vr"
+)
+
+// SessionConfig parameterizes the end-to-end VR streaming session — the
+// paper's §6 future work ("designing a fast beam-tracking algorithm that
+// leverages [tracking] information and evaluating the end-to-end
+// performance of this system").
+type SessionConfig struct {
+	// Duration is the play-session length.
+	Duration time.Duration
+
+	// Seed drives the motion trace.
+	Seed int64
+
+	// ReEvalPeriod is how often the link controller re-evaluates paths
+	// from pose (tracking mode).
+	ReEvalPeriod time.Duration
+}
+
+// DefaultSessionConfig returns a 30 s session with 50 ms tracking
+// cadence.
+func DefaultSessionConfig() SessionConfig {
+	return SessionConfig{
+		Duration:     30 * time.Second,
+		Seed:         1,
+		ReEvalPeriod: 50 * time.Millisecond,
+	}
+}
+
+// SessionVariant identifies a system configuration under test.
+type SessionVariant string
+
+// The four variants the session experiment compares.
+const (
+	VariantDirectOnly   SessionVariant = "direct only (no MoVR)"
+	VariantMoVRStatic   SessionVariant = "MoVR, static beams"
+	VariantMoVRReactive SessionVariant = "MoVR + SNR-triggered realign"
+	VariantMoVRTracking SessionVariant = "MoVR + pose tracking"
+)
+
+// SessionVariants lists the variants in comparison order.
+var SessionVariants = []SessionVariant{
+	VariantDirectOnly, VariantMoVRStatic, VariantMoVRReactive, VariantMoVRTracking,
+}
+
+// realignSweepCost is the link downtime of one hierarchical alignment
+// sweep (measured by the latency experiment: ~300 ms of control traffic
+// and tone transmission, during which the data stream is off the air).
+const realignSweepCost = 300 * time.Millisecond
+
+// SessionResult aggregates streaming reports per variant.
+type SessionResult struct {
+	Config  SessionConfig
+	Trace   vr.Stats
+	Reports map[SessionVariant]stream.Report
+}
+
+// Session runs the same seeded motion trace (walking, head rotation,
+// hand raises) through four system variants and reports frame delivery:
+//
+//   - direct only: the player's own motion and hand block the stream.
+//   - MoVR with beams frozen at session start: helps until the player
+//     moves away from the initial geometry.
+//   - MoVR with SNR-triggered re-alignment (§4.1: "the headset tracks
+//     the SNR and can trigger a new measurement if the SNR begins to
+//     degrade"): beams stay frozen until the link fails, then a
+//     ~300 ms alignment sweep re-points them — during which the stream
+//     is down.
+//   - MoVR with pose-driven tracking (the paper's §6 proposal): the
+//     link manager re-steers every ReEvalPeriod from VR tracking data,
+//     with no sweeps in the loop.
+func Session(cfg SessionConfig) SessionResult {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.ReEvalPeriod <= 0 {
+		cfg.ReEvalPeriod = 50 * time.Millisecond
+	}
+	trace, err := sessionTrace(cfg)
+	if err != nil {
+		panic(err) // config is structurally valid
+	}
+
+	res := SessionResult{
+		Config:  cfg,
+		Trace:   vr.Summarize(trace),
+		Reports: map[SessionVariant]stream.Report{},
+	}
+	for _, variant := range SessionVariants {
+		res.Reports[variant] = runVariant(cfg, trace, variant)
+	}
+	return res
+}
+
+// sessionTrace builds the seeded motion trace for a session config.
+func sessionTrace(cfg SessionConfig) (vr.Trace, error) {
+	trCfg := vr.DefaultTraceConfig(5, 5, cfg.Seed)
+	trCfg.Duration = cfg.Duration
+	return vr.Generate(trCfg)
+}
+
+// runVariant wires a fresh world per variant and streams over it.
+func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) stream.Report {
+	w := NewWorld(1)
+	start := trace.At(0)
+	hs := w.NewHeadsetAt(start.Pos, start.YawDeg)
+	mgr := linkmgr.New(w.Tracer, w.AP, hs)
+
+	if variant != VariantDirectOnly {
+		// A realistic install: two reflectors on different walls, so
+		// some reflector is in the headset's field for most head
+		// orientations ("One or more MoVR reflectors can be installed
+		// in a room", §4).
+		for _, mount := range []struct {
+			pos geom.Vec
+			deg float64
+		}{
+			{geom.V(4.6, 4.6), 225}, // far corner
+			{geom.V(0, 2.5), 0},     // west wall
+		} {
+			dev := reflector.Default(mount.pos, mount.deg)
+			link := control.NewLink(reflector.NewController(dev), control.DefaultRTT, 0, cfg.Seed)
+			idx := mgr.AddReflector(dev, link)
+			if err := mgr.AlignFromGeometry(idx); err != nil {
+				panic(err) // index valid by construction
+			}
+			// Point the reflector at the session-start pose; the static
+			// variant never moves it again.
+			mgr.PrimeReflector(idx)
+		}
+	}
+
+	// The hand blocker follows the trace; one obstacle slot is reused.
+	handIdx := w.Room.AddObstacle(room.Hand(geom.V(-10, -10))) // parked off-room
+
+	engine := sim.New()
+	currentRate := 0.0
+	req := mgr.Req
+	// Reactive-policy state: consecutive failing evaluations, and the
+	// deadline of an in-flight alignment sweep.
+	failStreak := 0
+	realignUntil := time.Duration(-1)
+	realignPending := false
+
+	// World tick: the physical geometry (pose, raised hand) evolves at
+	// the trace rate regardless of how often the controller acts. The
+	// delivered rate is re-read passively — whatever configuration is
+	// applied, through whatever the geometry now is.
+	const worldTick = 10 * time.Millisecond
+	applyWorld := func(p vr.Pose) {
+		if p.HandRaised {
+			w.Room.MoveObstacle(handIdx, p.HandPos())
+		} else {
+			w.Room.MoveObstacle(handIdx, geom.V(-10, -10))
+		}
+		hs.MoveTo(p.Pos)
+		hs.SetYaw(p.YawDeg)
+		if realignPending && engine.Now() < realignUntil {
+			currentRate = 0 // alignment sweep holds the link down
+			return
+		}
+		currentRate = mgr.Reassess().RateBps
+	}
+
+	// Controller tick: the variant's policy acts at ReEvalPeriod.
+	control := func(p vr.Pose) {
+		var st linkmgr.LinkState
+		switch variant {
+		case VariantDirectOnly, VariantMoVRTracking:
+			st = mgr.Step(p.Pos, p.YawDeg)
+		case VariantMoVRStatic:
+			st = mgr.BestFrozen()
+		case VariantMoVRReactive:
+			now := engine.Now()
+			if realignPending && now < realignUntil {
+				return // sweep in progress
+			}
+			if realignPending {
+				// Sweep done: beams re-pointed for the current pose.
+				realignPending = false
+				for i := range mgr.Reflectors() {
+					mgr.PrimeReflector(i)
+				}
+			}
+			st = mgr.BestFrozen()
+			if !req.MetByRate(st.RateBps) {
+				failStreak++
+				if failStreak >= 2 {
+					failStreak = 0
+					realignPending = true
+					realignUntil = now + realignSweepCost
+				}
+			} else {
+				failStreak = 0
+			}
+		}
+		currentRate = st.RateBps
+	}
+
+	// Initial state, then both cadences.
+	applyWorld(start)
+	control(start)
+	engine.Every(0, worldTick, func() {
+		applyWorld(trace.At(engine.Now()))
+	})
+	engine.Every(0, cfg.ReEvalPeriod, func() {
+		control(trace.At(engine.Now()))
+	})
+
+	return stream.Run(engine, stream.Config{
+		Display:  vr.HTCVive(),
+		Duration: cfg.Duration,
+	}, func(now time.Duration) float64 { return currentRate })
+}
+
+// Render prints the session comparison.
+func (r SessionResult) Render() string {
+	var b strings.Builder
+	b.WriteString("End-to-end VR session (paper §6 future work: pose-driven beam tracking)\n\n")
+	fmt.Fprintf(&b, "Motion: %.1f m walked, hand raised %.0f%% of time, yaw range %.0f°\n\n",
+		r.Trace.DistanceM, 100*r.Trace.HandUpFrac, r.Trace.YawRangeDeg)
+	var rows [][]string
+	for _, v := range SessionVariants {
+		rep := r.Reports[v]
+		rows = append(rows, []string{
+			string(v),
+			fmt.Sprintf("%d", rep.Frames),
+			fmt.Sprintf("%.1f%%", 100*rep.GlitchFrac),
+			rep.LongestOutage.Truncate(time.Millisecond).String(),
+			rep.P99Latency.Truncate(100 * time.Microsecond).String(),
+		})
+	}
+	b.WriteString(Table(
+		[]string{"variant", "frames", "glitch rate", "worst outage", "p99 latency"},
+		rows,
+	))
+	return b.String()
+}
+
+// RequiredRateGbpsForDisplay is a convenience for reports.
+func RequiredRateGbpsForDisplay() float64 {
+	return stream.RequiredRateBps(vr.HTCVive()) / units.Gbps
+}

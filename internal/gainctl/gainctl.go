@@ -1,0 +1,93 @@
+// Package gainctl implements MoVR's adaptive amplifier gain control
+// (paper §4.2): choose the largest amplifier gain that keeps the
+// TX→RX-leakage feedback loop out of saturation, using only the
+// amplifier's DC supply current as the observable.
+//
+// "Our gain control algorithm works as follows. It sets the amplifier
+// gain to the minimum, then increases the gain, step by step, while
+// monitoring the amplifier's current consumption. The algorithm continues
+// increasing the gain until the current consumption suddenly goes high.
+// This indicates that the amplifier is entering saturation mode. The
+// algorithm keeps the amplification gain just below this point."
+//
+// The algorithm runs on the reflector's own microcontroller (it has
+// direct access to the current sensor); the AP merely triggers it over
+// the control link.
+package gainctl
+
+import (
+	"github.com/movr-sim/movr/internal/reflector"
+)
+
+// Config tunes the gain-control loop.
+type Config struct {
+	// JumpThresholdA is the per-step current increase that signals the
+	// onset of saturation.
+	JumpThresholdA float64
+
+	// BackoffSteps is how many DAC steps to retreat below the detected
+	// knee — the "just below this point" safety margin.
+	BackoffSteps int
+}
+
+// DefaultConfig returns thresholds matched to the amplifier model: the
+// compression spike is ~0.6 A over a few tenths of a dB, while normal
+// per-step (0.5 dB) growth stays under ~20 mA.
+func DefaultConfig() Config {
+	return Config{
+		JumpThresholdA: 0.05,
+		BackoffSteps:   4,
+	}
+}
+
+// Result reports the outcome of a gain-control run.
+type Result struct {
+	// GainDB is the final programmed gain.
+	GainDB float64
+
+	// Word is the final DAC word.
+	Word int
+
+	// Steps is the number of gain increments probed.
+	Steps int
+
+	// KneeDetected reports whether a saturation knee was found; false
+	// means the sweep reached maximum gain without saturating.
+	KneeDetected bool
+
+	// MarginDB is the final stability margin LeakageDB − GainDB
+	// (positive = stable).
+	MarginDB float64
+}
+
+// Optimize runs the §4.2 algorithm on the device: start at minimum gain,
+// step upward watching the supply current, stop on the first sudden jump,
+// then back off. extInDBm is the off-air power at the amplifier input
+// during the run (the AP keeps transmitting so the loop sees realistic
+// drive).
+func Optimize(dev *reflector.Reflector, extInDBm float64, cfg Config) Result {
+	amp := dev.Amp()
+	if cfg.BackoffSteps < 1 {
+		cfg.BackoffSteps = 1
+	}
+	amp.SetGainWord(0)
+	prev := dev.SupplyCurrentA(extInDBm)
+	res := Result{}
+	maxWord := amp.Words() - 1
+	for w := 1; w <= maxWord; w++ {
+		amp.SetGainWord(w)
+		res.Steps++
+		cur := dev.SupplyCurrentA(extInDBm)
+		if cur-prev > cfg.JumpThresholdA {
+			// Saturation onset: retreat below the knee.
+			amp.SetGainWord(w - cfg.BackoffSteps)
+			res.KneeDetected = true
+			break
+		}
+		prev = cur
+	}
+	res.Word = amp.GainWord()
+	res.GainDB = amp.GainDB()
+	res.MarginDB = dev.LeakageDB() - res.GainDB
+	return res
+}

@@ -1,0 +1,83 @@
+// Package geom provides the 2-D computational geometry the MoVR simulator
+// is built on: vectors, segments, circles, intersection tests, and the
+// image-method specular reflection used by the mmWave ray tracer.
+//
+// The simulated world is a top-down 2-D floor plan. Angles are expressed
+// in degrees, measured counter-clockwise from the +X axis, matching the
+// convention used by the antenna and channel packages.
+package geom
+
+import "math"
+
+// Vec is a point or direction in the 2-D plane.
+type Vec struct {
+	X, Y float64
+}
+
+// V is shorthand for constructing a Vec.
+func V(x, y float64) Vec { return Vec{X: x, Y: y} }
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v − w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the scalar (z-component) cross product v×w.
+func (v Vec) Cross(w Vec) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v normalized to length 1. The zero vector is returned
+// unchanged.
+func (v Vec) Unit() Vec {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Perp returns v rotated 90° counter-clockwise.
+func (v Vec) Perp() Vec { return Vec{-v.Y, v.X} }
+
+// Rotate returns v rotated by deg degrees counter-clockwise about the
+// origin.
+func (v Vec) Rotate(deg float64) Vec {
+	r := deg * math.Pi / 180
+	c, s := math.Cos(r), math.Sin(r)
+	return Vec{v.X*c - v.Y*s, v.X*s + v.Y*c}
+}
+
+// AngleDeg returns the direction of v in degrees, counter-clockwise from
+// +X, in (−180, 180].
+func (v Vec) AngleDeg() float64 { return math.Atan2(v.Y, v.X) * 180 / math.Pi }
+
+// Lerp linearly interpolates between v (t = 0) and w (t = 1).
+func (v Vec) Lerp(w Vec, t float64) Vec { return v.Add(w.Sub(v).Scale(t)) }
+
+// AlmostEqual reports whether v and w are within tol of each other in both
+// coordinates.
+func (v Vec) AlmostEqual(w Vec, tol float64) bool {
+	return math.Abs(v.X-w.X) <= tol && math.Abs(v.Y-w.Y) <= tol
+}
+
+// FromPolar returns the point at the given distance from origin o in the
+// direction deg degrees (counter-clockwise from +X).
+func FromPolar(o Vec, deg, dist float64) Vec {
+	r := deg * math.Pi / 180
+	return Vec{o.X + dist*math.Cos(r), o.Y + dist*math.Sin(r)}
+}
+
+// DirectionDeg returns the bearing in degrees of the vector from a to b.
+func DirectionDeg(a, b Vec) float64 { return b.Sub(a).AngleDeg() }

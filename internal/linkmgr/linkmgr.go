@@ -1,0 +1,390 @@
+// Package linkmgr is the end-to-end MoVR link controller: it monitors the
+// data-plane SNR at the headset, decides between the direct AP→headset
+// path and paths through installed reflectors, keeps reflector beams
+// pointed using the VR system's pose tracking ("the VR system constantly
+// tracks the headset's position, we can simply leverage this information
+// to determine the best angle", §4.1), and re-runs the adaptive gain
+// control whenever beams move.
+package linkmgr
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/movr-sim/movr/internal/channel"
+	"github.com/movr-sim/movr/internal/control"
+	"github.com/movr-sim/movr/internal/gainctl"
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/phy"
+	"github.com/movr-sim/movr/internal/radio"
+	"github.com/movr-sim/movr/internal/reflector"
+	"github.com/movr-sim/movr/internal/relay"
+	"github.com/movr-sim/movr/internal/units"
+)
+
+// PathChoice identifies which path currently carries the VR stream.
+type PathChoice int
+
+const (
+	// PathNone means no usable path exists.
+	PathNone PathChoice = iota
+	// PathDirect is the AP→headset line-of-sight path.
+	PathDirect
+	// PathReflector is a path through a MoVR reflector.
+	PathReflector
+)
+
+// String names the path choice.
+func (c PathChoice) String() string {
+	switch c {
+	case PathNone:
+		return "none"
+	case PathDirect:
+		return "direct"
+	case PathReflector:
+		return "reflector"
+	default:
+		return "unknown"
+	}
+}
+
+// LinkState is the controller's view of the link after a decision.
+type LinkState struct {
+	// Choice is the selected path.
+	Choice PathChoice
+
+	// ReflectorIdx identifies the reflector when Choice is
+	// PathReflector.
+	ReflectorIdx int
+
+	// SNRdB is the delivered SNR at the headset.
+	SNRdB float64
+
+	// RateBps is the 802.11ad rate at that SNR.
+	RateBps float64
+
+	// MCSIndex is the selected MCS (−1 when the link is down).
+	MCSIndex int
+
+	// MeetsRequirement reports whether the VR rate requirement is
+	// satisfied.
+	MeetsRequirement bool
+}
+
+// String summarizes the state.
+func (s LinkState) String() string {
+	return fmt.Sprintf("%s snr=%.1fdB rate=%.2fGbps meets=%v",
+		s.Choice, s.SNRdB, s.RateBps/units.Gbps, s.MeetsRequirement)
+}
+
+// Entry is one installed reflector under management.
+type Entry struct {
+	// Dev is the physical device.
+	Dev *reflector.Reflector
+
+	// Link is the Bluetooth control channel to it.
+	Link *control.Link
+
+	// APBeamDeg is the AP's beam toward this reflector (from
+	// alignment).
+	APBeamDeg float64
+
+	// IncidenceDeg is the reflector's receive-beam angle toward the AP
+	// (from alignment — the angle Fig 8 estimates).
+	IncidenceDeg float64
+
+	// Aligned reports whether alignment has been performed.
+	Aligned bool
+}
+
+// Manager owns path selection for one AP/headset pair.
+type Manager struct {
+	Tracer  *channel.Tracer
+	AP      *radio.AP
+	Headset *radio.Headset
+	Req     phy.VRRequirement
+	GainCfg gainctl.Config
+
+	entries []*Entry
+
+	// Last-applied decision, for passive reassessment.
+	lastChoice PathChoice
+	lastRefl   int
+}
+
+// New builds a Manager with the HTC Vive requirement and default gain
+// control.
+func New(tr *channel.Tracer, ap *radio.AP, hs *radio.Headset) *Manager {
+	return &Manager{
+		Tracer:  tr,
+		AP:      ap,
+		Headset: hs,
+		Req:     phy.HTCViveRequirement(),
+		GainCfg: gainctl.DefaultConfig(),
+	}
+}
+
+// AddReflector registers a reflector and returns its index.
+func (m *Manager) AddReflector(dev *reflector.Reflector, link *control.Link) int {
+	m.entries = append(m.entries, &Entry{Dev: dev, Link: link})
+	return len(m.entries) - 1
+}
+
+// Reflectors returns the managed entries (shared slice; do not modify).
+func (m *Manager) Reflectors() []*Entry { return m.entries }
+
+// SetAlignment records the alignment result for reflector i (normally
+// produced by the align package's sweep).
+func (m *Manager) SetAlignment(i int, apBeamDeg, incidenceDeg float64) error {
+	if i < 0 || i >= len(m.entries) {
+		return fmt.Errorf("linkmgr: reflector index %d out of range", i)
+	}
+	e := m.entries[i]
+	e.APBeamDeg = apBeamDeg
+	e.IncidenceDeg = incidenceDeg
+	e.Aligned = true
+	return nil
+}
+
+// AlignFromGeometry fills the alignment of reflector i from known
+// positions — the installation-time shortcut for simulations and the
+// upper bound a perfect sweep would reach.
+func (m *Manager) AlignFromGeometry(i int) error {
+	if i < 0 || i >= len(m.entries) {
+		return fmt.Errorf("linkmgr: reflector index %d out of range", i)
+	}
+	e := m.entries[i]
+	return m.SetAlignment(i,
+		geom.DirectionDeg(m.AP.Pos, e.Dev.Pos()),
+		geom.DirectionDeg(e.Dev.Pos(), m.AP.Pos))
+}
+
+// EvaluateDirect steers AP and headset at each other and returns the
+// direct-path SNR.
+func (m *Manager) EvaluateDirect() float64 {
+	m.AP.SteerToward(m.Headset.Pos)
+	m.Headset.SteerToward(m.AP.Pos)
+	return radio.LinkSNRdB(m.Tracer, &m.AP.Radio, &m.Headset.Radio)
+}
+
+// EvaluateReflector configures the path through reflector i — AP beam
+// from alignment, reflector RX beam from alignment, reflector TX beam and
+// headset beam from pose tracking — runs gain control, and returns the
+// delivered amplify-and-forward SNR. The second return is false when the
+// path is unusable (unaligned, unstable, or saturated).
+func (m *Manager) EvaluateReflector(i int) (float64, bool) {
+	if i < 0 || i >= len(m.entries) {
+		return math.Inf(-1), false
+	}
+	e := m.entries[i]
+	if !e.Aligned || !e.Dev.Amp().Enabled() {
+		return math.Inf(-1), false
+	}
+	dev := e.Dev
+
+	// Beam configuration.
+	m.AP.SteerTo(e.APBeamDeg)
+	dev.SetRXBeam(e.IncidenceDeg)
+	dev.SetTXBeam(geom.DirectionDeg(dev.Pos(), m.Headset.Pos))
+	m.Headset.SteerToward(dev.Pos())
+
+	// First hop: AP → reflector amplifier input, over the direct leg
+	// with whatever blockage it suffers.
+	leg1 := m.directLeg(m.AP.Pos, dev.Pos(), m.AP.HeightM, dev.HeightM())
+	inbound := m.AP.Budget.TXPowerDBm + m.AP.GainDBi(leg1.AoDDeg) -
+		leg1.PropagationLossDB(m.AP.Budget.FreqHz) + dev.RXGainDBi(leg1.AoADeg)
+
+	// Adaptive gain control at the current beams and drive level.
+	gainctl.Optimize(dev, inbound, m.GainCfg)
+	if !dev.Stable() || dev.SaturatedAt(inbound) {
+		return math.Inf(-1), false
+	}
+
+	// Second hop: reflector → headset.
+	leg2 := m.directLeg(dev.Pos(), m.Headset.Pos, dev.HeightM(), m.Headset.HeightM)
+	hop2Gain := dev.Amp().GainDB() + dev.TXGainDBi(leg2.AoDDeg) -
+		leg2.PropagationLossDB(m.AP.Budget.FreqHz) +
+		m.Headset.GainDBi(leg2.AoADeg) - m.AP.Budget.ImplLossDB
+
+	hop1 := relay.HopBudget{
+		SignalDBm: inbound,
+		NoiseDBm:  units.ThermalNoiseDBm(m.AP.Budget.BandwidthHz, dev.NoiseFigureDB()),
+	}
+	headsetNoise := m.Headset.Budget.NoiseFloorDBm()
+	return relay.EndToEnd(hop1, hop2Gain, headsetNoise), true
+}
+
+// EvaluateReflectorFrozen computes the SNR through reflector i with its
+// beams and amplifier gain exactly as they are — no re-steering and no
+// gain re-optimization. This models a system without pose-driven
+// tracking: the reflector keeps whatever configuration its last
+// alignment produced, however stale. The AP and headset still aim at
+// their configured endpoints (the AP at the reflector, the headset at
+// the reflector's position).
+func (m *Manager) EvaluateReflectorFrozen(i int) (float64, bool) {
+	if i < 0 || i >= len(m.entries) {
+		return math.Inf(-1), false
+	}
+	e := m.entries[i]
+	if !e.Aligned || !e.Dev.Amp().Enabled() {
+		return math.Inf(-1), false
+	}
+	dev := e.Dev
+	m.AP.SteerTo(e.APBeamDeg)
+	m.Headset.SteerToward(dev.Pos())
+
+	leg1 := m.directLeg(m.AP.Pos, dev.Pos(), m.AP.HeightM, dev.HeightM())
+	inbound := m.AP.Budget.TXPowerDBm + m.AP.GainDBi(leg1.AoDDeg) -
+		leg1.PropagationLossDB(m.AP.Budget.FreqHz) + dev.RXGainDBi(leg1.AoADeg)
+	if !dev.Stable() || dev.SaturatedAt(inbound) {
+		return math.Inf(-1), false
+	}
+	leg2 := m.directLeg(dev.Pos(), m.Headset.Pos, dev.HeightM(), m.Headset.HeightM)
+	hop2Gain := dev.Amp().GainDB() + dev.TXGainDBi(leg2.AoDDeg) -
+		leg2.PropagationLossDB(m.AP.Budget.FreqHz) +
+		m.Headset.GainDBi(leg2.AoADeg) - m.AP.Budget.ImplLossDB
+	hop1 := relay.HopBudget{
+		SignalDBm: inbound,
+		NoiseDBm:  units.ThermalNoiseDBm(m.AP.Budget.BandwidthHz, dev.NoiseFigureDB()),
+	}
+	return relay.EndToEnd(hop1, hop2Gain, m.Headset.Budget.NoiseFloorDBm()), true
+}
+
+// BestFrozen is Best without pose-driven reflector tracking: the direct
+// path re-aims (electronic, local), but reflector beams and gains stay
+// frozen at their last-applied values.
+func (m *Manager) BestFrozen() LinkState {
+	bestSNR := m.EvaluateDirect()
+	choice := PathDirect
+	reflIdx := -1
+	for i := range m.entries {
+		if snr, ok := m.EvaluateReflectorFrozen(i); ok && snr > bestSNR {
+			bestSNR = snr
+			choice = PathReflector
+			reflIdx = i
+		}
+	}
+	switch choice {
+	case PathDirect:
+		bestSNR = m.EvaluateDirect()
+	case PathReflector:
+		if snr, ok := m.EvaluateReflectorFrozen(reflIdx); ok {
+			bestSNR = snr
+		}
+	}
+	return m.stateFor(choice, reflIdx, bestSNR)
+}
+
+// PrimeReflector applies the tracked configuration for reflector i once
+// (beams + gain control at the current pose); used to set up the frozen
+// variant before a session starts.
+func (m *Manager) PrimeReflector(i int) {
+	m.EvaluateReflector(i)
+}
+
+// directLeg returns the direct path between two points at the given
+// mounting heights.
+func (m *Manager) directLeg(a, b geom.Vec, hA, hB float64) channel.Path {
+	paths := m.Tracer.TraceH(a, b, hA, hB)
+	for _, p := range paths {
+		if p.Kind == channel.Direct {
+			return p
+		}
+	}
+	return paths[0]
+}
+
+// Best evaluates every available path, selects the highest-SNR one,
+// re-applies its configuration, and returns the resulting state.
+func (m *Manager) Best() LinkState {
+	bestSNR := m.EvaluateDirect()
+	choice := PathDirect
+	reflIdx := -1
+	for i := range m.entries {
+		if snr, ok := m.EvaluateReflector(i); ok && snr > bestSNR {
+			bestSNR = snr
+			choice = PathReflector
+			reflIdx = i
+		}
+	}
+	// Re-apply the winner (evaluation of later candidates moved beams).
+	switch choice {
+	case PathDirect:
+		bestSNR = m.EvaluateDirect()
+	case PathReflector:
+		if snr, ok := m.EvaluateReflector(reflIdx); ok {
+			bestSNR = snr
+		}
+	}
+	return m.stateFor(choice, reflIdx, bestSNR)
+}
+
+// stateFor converts a path and SNR into a full LinkState and records the
+// decision for later passive reassessment.
+func (m *Manager) stateFor(choice PathChoice, reflIdx int, snr float64) LinkState {
+	m.lastChoice = choice
+	m.lastRefl = reflIdx
+	st := LinkState{Choice: choice, ReflectorIdx: reflIdx, SNRdB: snr, MCSIndex: -1}
+	if mcs, ok := phy.Best(snr); ok {
+		st.RateBps = mcs.RateBps
+		st.MCSIndex = mcs.Index
+	} else {
+		st.Choice = PathNone
+	}
+	st.MeetsRequirement = m.Req.MetByRate(st.RateBps)
+	return st
+}
+
+// Reassess re-reads the SNR of the most recently selected path with
+// every beam and gain exactly as it stands — no steering, no gain
+// control, no path switching. This is what the headset's receiver
+// actually measures between controller actions: the geometry may have
+// moved (pose, blockers) while the configuration has not.
+func (m *Manager) Reassess() LinkState {
+	choice, idx := m.lastChoice, m.lastRefl
+	var snr float64
+	if choice == PathReflector && idx >= 0 && idx < len(m.entries) {
+		snr = m.reflectorSNRAsIs(idx)
+	} else {
+		choice = PathDirect
+		snr = radio.LinkSNRdB(m.Tracer, &m.AP.Radio, &m.Headset.Radio)
+	}
+	st := m.stateFor(choice, idx, snr)
+	// Reassessment must not upgrade PathNone back: keep the decision.
+	m.lastChoice, m.lastRefl = choice, idx
+	return st
+}
+
+// reflectorSNRAsIs computes the amplify-and-forward SNR through entry i
+// without touching any beam or gain.
+func (m *Manager) reflectorSNRAsIs(i int) float64 {
+	e := m.entries[i]
+	dev := e.Dev
+	if !dev.Amp().Enabled() {
+		return math.Inf(-1)
+	}
+	leg1 := m.directLeg(m.AP.Pos, dev.Pos(), m.AP.HeightM, dev.HeightM())
+	inbound := m.AP.Budget.TXPowerDBm + m.AP.GainDBi(leg1.AoDDeg) -
+		leg1.PropagationLossDB(m.AP.Budget.FreqHz) + dev.RXGainDBi(leg1.AoADeg)
+	if !dev.Stable() || dev.SaturatedAt(inbound) {
+		return math.Inf(-1)
+	}
+	leg2 := m.directLeg(dev.Pos(), m.Headset.Pos, dev.HeightM(), m.Headset.HeightM)
+	hop2Gain := dev.Amp().GainDB() + dev.TXGainDBi(leg2.AoDDeg) -
+		leg2.PropagationLossDB(m.AP.Budget.FreqHz) +
+		m.Headset.GainDBi(leg2.AoADeg) - m.AP.Budget.ImplLossDB
+	hop1 := relay.HopBudget{
+		SignalDBm: inbound,
+		NoiseDBm:  units.ThermalNoiseDBm(m.AP.Budget.BandwidthHz, dev.NoiseFigureDB()),
+	}
+	return relay.EndToEnd(hop1, hop2Gain, m.Headset.Budget.NoiseFloorDBm())
+}
+
+// Step updates the headset pose from the VR tracking system and returns
+// the re-evaluated link state — the fast pose-driven tracking loop the
+// paper's §6 proposes, with no sweep in the loop.
+func (m *Manager) Step(pos geom.Vec, yawDeg float64) LinkState {
+	m.Headset.MoveTo(pos)
+	m.Headset.SetYaw(yawDeg)
+	return m.Best()
+}

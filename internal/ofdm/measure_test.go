@@ -1,0 +1,67 @@
+package ofdm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeasureAtSNRTracksTarget(t *testing.T) {
+	m, err := NewModem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []float64{8, 15, 22, 30} {
+		got, err := m.MeasureAtSNR(want, 6, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1.0 {
+			t.Errorf("measured %v for target %v", got, want)
+		}
+	}
+}
+
+func TestMeasureAtSNRValidation(t *testing.T) {
+	m, _ := NewModem(DefaultConfig())
+	if _, err := m.MeasureAtSNR(20, 0, 1); err == nil {
+		t.Error("zero symbols should fail")
+	}
+}
+
+func TestMeasureAtSNRDeterministic(t *testing.T) {
+	m, _ := NewModem(DefaultConfig())
+	a, err := m.MeasureAtSNR(18, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.MeasureAtSNR(18, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed differs: %v vs %v", a, b)
+	}
+	c, err := m.MeasureAtSNR(18, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seed should differ")
+	}
+}
+
+// TestDataPlaneValidatesLinkBudget is the closed loop the paper's §5.2
+// measurement procedure implies: the SNR the headset's OFDM receiver
+// estimates from received symbols must agree with the analytic link
+// budget that produced it.
+func TestDataPlaneValidatesLinkBudget(t *testing.T) {
+	m, _ := NewModem(DefaultConfig())
+	analyticSNR := 24.5 // a typical Fig 3 LOS budget result
+	measured, err := m.MeasureAtSNR(analyticSNR, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(measured-analyticSNR) > 0.8 {
+		t.Errorf("data-plane SNR %v diverges from budget %v", measured, analyticSNR)
+	}
+}

@@ -1,0 +1,45 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoodput(t *testing.T) {
+	// Far above every threshold: goodput equals the max PHY rate.
+	if g := GoodputBps(30); math.Abs(g-MaxRateBps) > 1e3 {
+		t.Errorf("goodput at 30 dB = %v", g)
+	}
+	// Dead link: zero.
+	if g := GoodputBps(-20); g != 0 {
+		t.Errorf("goodput at -20 dB = %v", g)
+	}
+	// Exactly at the top MCS's threshold (20 dB, where no faster MCS
+	// can shadow it) the ~1% PER shaves the rate.
+	m, ok := Best(20)
+	if !ok || m.Index != 24 {
+		t.Fatalf("Best(20) = %+v", m)
+	}
+	g := GoodputBps(m.MinSNRdB)
+	if g >= m.RateBps {
+		t.Error("goodput at threshold should be below nominal rate")
+	}
+	if g < 0.95*m.RateBps {
+		t.Errorf("goodput at threshold = %v, too pessimistic", g)
+	}
+}
+
+// Property: goodput never exceeds the nominal rate at the same SNR.
+func TestQuickGoodputBounded(t *testing.T) {
+	f := func(a float64) bool {
+		snr := math.Mod(a, 40)
+		if math.IsNaN(snr) {
+			return true
+		}
+		return GoodputBps(snr) <= RateBps(snr)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package phy
+
+import "github.com/movr-sim/movr/internal/units"
+
+// VRRequirement captures what the headset demands of the wireless link:
+// the paper's premise is that "High-quality VR systems need to stream
+// multiple Gbps of data" with "strict latency constraints... (about
+// 10ms)" that preclude compression (§1).
+type VRRequirement struct {
+	// RateBps is the sustained data rate the link must deliver.
+	RateBps float64
+
+	// LatencyBudget is the motion-to-photon deadline in seconds; the
+	// headset "updates the display every 10ms" (§6).
+	LatencyBudgetS float64
+}
+
+// HTCViveRequirement returns the requirement of the paper's HTC Vive
+// testbed: a 2160×1200 dual display at 90 Hz. The required link rate is
+// the rate at which the paper's Fig 3 dashed line sits (≈4 Gb/s after
+// display-stream framing efficiency), with the 10 ms update deadline.
+func HTCViveRequirement() VRRequirement {
+	return VRRequirement{
+		RateBps:        4.2 * units.Gbps,
+		LatencyBudgetS: 0.010,
+	}
+}
+
+// RequiredSNRdB returns the minimum SNR at which some 802.11ad MCS meets
+// the requirement — the paper's "Required SNR by VR headset" line in
+// Fig 3.
+func (r VRRequirement) RequiredSNRdB() float64 { return MinSNRForRate(r.RateBps) }
+
+// MetBySNR reports whether a link at snrDB satisfies the rate
+// requirement.
+func (r VRRequirement) MetBySNR(snrDB float64) bool {
+	return RateBps(snrDB) >= r.RateBps
+}
+
+// MetByRate reports whether a link at rateBps satisfies the rate
+// requirement.
+func (r VRRequirement) MetByRate(rateBps float64) bool { return rateBps >= r.RateBps }

@@ -1,0 +1,56 @@
+package reflector
+
+import (
+	"github.com/movr-sim/movr/internal/control"
+)
+
+// Controller is the reflector's on-board microcontroller (an Arduino Due
+// in the prototype): it executes control-plane commands against the
+// device hardware. The AmbientInputDBm field models the off-air power
+// arriving at the amplifier input while commands execute, which the
+// current sensor readout naturally reflects.
+type Controller struct {
+	Dev *Reflector
+
+	// AmbientInputDBm is the external signal power at the amplifier
+	// input used when a command needs a current reading. Experiments
+	// update it as the AP's transmissions change.
+	AmbientInputDBm float64
+}
+
+// NewController wraps a reflector device.
+func NewController(dev *Reflector) *Controller {
+	return &Controller{Dev: dev, AmbientInputDBm: -90}
+}
+
+// HandleControl implements control.Handler: it applies one command to the
+// device and returns an Ack (with a reading where relevant) or a Nack for
+// unknown commands.
+func (c *Controller) HandleControl(m control.Message) control.Message {
+	switch m.Type {
+	case control.MsgSetRXBeam:
+		applied := c.Dev.SetRXBeam(control.WireToAngle(m.Value))
+		return control.Message{Type: control.MsgAck, Value: control.AngleToWire(applied)}
+	case control.MsgSetTXBeam:
+		applied := c.Dev.SetTXBeam(control.WireToAngle(m.Value))
+		return control.Message{Type: control.MsgAck, Value: control.AngleToWire(applied)}
+	case control.MsgSetBothBeams:
+		applied := c.Dev.SetBothBeams(control.WireToAngle(m.Value))
+		return control.Message{Type: control.MsgAck, Value: control.AngleToWire(applied)}
+	case control.MsgSetGainWord:
+		applied := c.Dev.Amp().SetGainWord(int(m.Value))
+		return control.Message{Type: control.MsgAck, Value: int32(applied)}
+	case control.MsgSetModulation:
+		if m.Value > 0 {
+			c.Dev.SetModulating(true, float64(m.Value))
+		} else {
+			c.Dev.SetModulating(false, 0)
+		}
+		return control.Message{Type: control.MsgAck, Value: m.Value}
+	case control.MsgReadCurrent:
+		amps := c.Dev.SupplyCurrentA(c.AmbientInputDBm)
+		return control.Message{Type: control.MsgAck, Value: control.CurrentToWire(amps)}
+	default:
+		return control.Message{Type: control.MsgNack}
+	}
+}

@@ -1,0 +1,351 @@
+// Package reflector implements the MoVR device itself: "a configurable
+// mmWave reflector... It acts as a programmable mirror that detects the
+// direction of the incoming mmWave signal and reconfigures itself to
+// reflect it toward the receiver on the headset" (§1).
+//
+// The device is two phased arrays joined by a variable-gain amplifier
+// (Fig 4). It has no transmit or receive basebands: everything it does is
+// set a receive beam, set a transmit beam, set an amplifier gain word, and
+// toggle the amplifier for OOK modulation. Its only sensor is a DC
+// current monitor on the amplifier supply.
+//
+// The central physical subtlety is the TX→RX antenna leakage: part of the
+// amplified output couples back into the receive antenna, closing a
+// positive feedback loop (Fig 6). The loop is stable only while the
+// amplifier gain is below the leakage attenuation (G_dB − L_dB < 0); past
+// that point the amplifier drives itself into saturation and the output
+// is garbage. The leakage depends on both beam angles and swings by tens
+// of dB (Fig 7), which is why MoVR needs the adaptive gain control of
+// §4.2. This package simulates the loop literally — the effective
+// amplifier input is the fixed point of the feedback iteration — so
+// saturation, current spikes, and garbage output all emerge from the
+// model.
+package reflector
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/movr-sim/movr/internal/amplifier"
+	"github.com/movr-sim/movr/internal/antenna"
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/units"
+)
+
+// Config describes a MoVR reflector installation.
+type Config struct {
+	// Pos is the device's position (wall-mounted).
+	Pos geom.Vec
+
+	// MountDeg is the boresight direction of both arrays (into the
+	// room, perpendicular to the wall).
+	MountDeg float64
+
+	// HeightM is the wall-mount height above the floor.
+	HeightM float64
+
+	// AntennaSeparationM is the on-board spacing between the RX and TX
+	// arrays.
+	AntennaSeparationM float64
+
+	// RXArray and TXArray configure the two phased arrays. Their
+	// OrientationDeg fields are overridden with MountDeg.
+	RXArray, TXArray antenna.Config
+
+	// Amp configures the variable-gain amplifier chain.
+	Amp amplifier.Config
+
+	// BaseIsolationDB is the mean TX→RX isolation of the board.
+	BaseIsolationDB float64
+
+	// SlowSwingDB and FastSwingDB bound the two scales of the
+	// deterministic angle-dependent leakage variation: a slow envelope
+	// and a fast ripple. Fig 7 measures total swings of ~20 dB; the
+	// defaults reproduce that. Near-field coupling between co-located
+	// arrays is not a far-field pattern product, so the model is
+	// calibrated empirical structure rather than first-principles
+	// (see DESIGN.md).
+	SlowSwingDB, FastSwingDB float64
+
+	// MinLeakageDB floors the total isolation; no physical board has
+	// less.
+	MinLeakageDB float64
+
+	// Seed fixes the device-specific leakage pattern.
+	Seed int64
+}
+
+// DefaultConfig returns a reflector configuration calibrated so leakage
+// behaves like the paper's Fig 7: total isolation in the tens of dB with
+// ≥15 dB swings across beam angles.
+func DefaultConfig(pos geom.Vec, mountDeg float64) Config {
+	return Config{
+		Pos:                pos,
+		MountDeg:           mountDeg,
+		HeightM:            2.6,
+		AntennaSeparationM: 0.06,
+		RXArray:            antenna.DefaultConfig(mountDeg),
+		TXArray:            antenna.DefaultConfig(mountDeg),
+		Amp:                amplifier.DefaultConfig(),
+		BaseIsolationDB:    60,
+		SlowSwingDB:        8,
+		FastSwingDB:        6,
+		MinLeakageDB:       35,
+		Seed:               1,
+	}
+}
+
+// Reflector is a MoVR device.
+type Reflector struct {
+	cfg Config
+	rx  *antenna.Array
+	tx  *antenna.Array
+	amp *amplifier.VGA
+
+	modulating bool
+	modFreqHz  float64
+
+	ripple leakagePattern
+}
+
+// New validates cfg and builds the device with both beams at boresight
+// and the amplifier at minimum gain.
+func New(cfg Config) (*Reflector, error) {
+	if cfg.AntennaSeparationM <= 0 {
+		return nil, fmt.Errorf("reflector: AntennaSeparationM %v must be positive", cfg.AntennaSeparationM)
+	}
+	cfg.RXArray.OrientationDeg = cfg.MountDeg
+	cfg.TXArray.OrientationDeg = cfg.MountDeg
+	rx, err := antenna.New(cfg.RXArray)
+	if err != nil {
+		return nil, fmt.Errorf("reflector: rx array: %w", err)
+	}
+	tx, err := antenna.New(cfg.TXArray)
+	if err != nil {
+		return nil, fmt.Errorf("reflector: tx array: %w", err)
+	}
+	amp, err := amplifier.New(cfg.Amp)
+	if err != nil {
+		return nil, fmt.Errorf("reflector: amplifier: %w", err)
+	}
+	return &Reflector{
+		cfg:    cfg,
+		rx:     rx,
+		tx:     tx,
+		amp:    amp,
+		ripple: newLeakagePattern(cfg.Seed, cfg.SlowSwingDB, cfg.FastSwingDB),
+	}, nil
+}
+
+// Default returns a reflector with DefaultConfig at pos facing mountDeg.
+func Default(pos geom.Vec, mountDeg float64) *Reflector {
+	r, err := New(DefaultConfig(pos, mountDeg))
+	if err != nil {
+		panic(err) // default config cannot fail
+	}
+	return r
+}
+
+// Pos returns the device position.
+func (r *Reflector) Pos() geom.Vec { return r.cfg.Pos }
+
+// MountDeg returns the wall-mount boresight direction.
+func (r *Reflector) MountDeg() float64 { return r.cfg.MountDeg }
+
+// HeightM returns the wall-mount height above the floor.
+func (r *Reflector) HeightM() float64 { return r.cfg.HeightM }
+
+// RXPos returns the receive array's position (offset along the wall).
+func (r *Reflector) RXPos() geom.Vec {
+	return geom.FromPolar(r.cfg.Pos, r.cfg.MountDeg+90, r.cfg.AntennaSeparationM/2)
+}
+
+// TXPos returns the transmit array's position.
+func (r *Reflector) TXPos() geom.Vec {
+	return geom.FromPolar(r.cfg.Pos, r.cfg.MountDeg-90, r.cfg.AntennaSeparationM/2)
+}
+
+// SetRXBeam steers the receive beam (the angle of incidence) to a world
+// angle and returns the applied angle.
+func (r *Reflector) SetRXBeam(worldDeg float64) float64 { return r.rx.SteerTo(worldDeg) }
+
+// SetTXBeam steers the transmit beam (the angle of reflection) to a world
+// angle and returns the applied angle.
+func (r *Reflector) SetTXBeam(worldDeg float64) float64 { return r.tx.SteerTo(worldDeg) }
+
+// SetBothBeams steers both arrays to the same world angle, as the
+// alignment protocol requires ("first sets the reflector's receive and
+// transmit beams to the same direction", §4.1).
+func (r *Reflector) SetBothBeams(worldDeg float64) float64 {
+	r.rx.SteerTo(worldDeg)
+	return r.tx.SteerTo(worldDeg)
+}
+
+// RXBeamDeg returns the current receive-beam world angle.
+func (r *Reflector) RXBeamDeg() float64 { return r.rx.SteeringDeg() }
+
+// TXBeamDeg returns the current transmit-beam world angle.
+func (r *Reflector) TXBeamDeg() float64 { return r.tx.SteeringDeg() }
+
+// RXGainDBi returns the receive array's realized gain toward a world
+// angle.
+func (r *Reflector) RXGainDBi(worldDeg float64) float64 { return r.rx.GainDBi(worldDeg) }
+
+// TXGainDBi returns the transmit array's realized gain toward a world
+// angle.
+func (r *Reflector) TXGainDBi(worldDeg float64) float64 { return r.tx.GainDBi(worldDeg) }
+
+// RXBeamwidthDeg returns the receive array's half-power beamwidth.
+func (r *Reflector) RXBeamwidthDeg() float64 { return r.rx.BeamwidthDeg() }
+
+// Amp returns the amplifier chain for gain programming.
+func (r *Reflector) Amp() *amplifier.VGA { return r.amp }
+
+// SetModulating toggles the OOK modulation used during alignment, with
+// the given modulation frequency (f2 in the paper's description).
+func (r *Reflector) SetModulating(on bool, freqHz float64) {
+	r.modulating = on
+	r.modFreqHz = freqHz
+}
+
+// Modulating reports whether OOK modulation is active and at what
+// frequency.
+func (r *Reflector) Modulating() (bool, float64) { return r.modulating, r.modFreqHz }
+
+// LeakageDB returns the TX→RX isolation (a positive attenuation in dB)
+// for the current pair of beam angles: a base board isolation plus a
+// deterministic, device-specific, smooth function of both steering
+// angles. This reproduces the measured behaviour of Fig 7 — isolation in
+// the tens of dB whose value swings by ~20 dB as either beam moves —
+// without pretending the near-field coupling of two co-located arrays can
+// be derived from their far-field patterns.
+func (r *Reflector) LeakageDB() float64 {
+	relTX := units.AngleDiffDeg(r.tx.SteeringDeg(), r.cfg.MountDeg)
+	relRX := units.AngleDiffDeg(r.rx.SteeringDeg(), r.cfg.MountDeg)
+	l := r.cfg.BaseIsolationDB + r.ripple.at(relTX, relRX)
+	if l < r.cfg.MinLeakageDB {
+		l = r.cfg.MinLeakageDB
+	}
+	return l
+}
+
+// LoopGainDB returns the closed-loop gain margin G_dB − L_dB; the device
+// is stable while this is negative (§4.2's control-theory condition).
+func (r *Reflector) LoopGainDB() float64 { return r.amp.GainDB() - r.LeakageDB() }
+
+// Stable reports whether the feedback loop is small-signal stable at the
+// current gain and beam angles.
+func (r *Reflector) Stable() bool { return r.LoopGainDB() < 0 }
+
+// feedbackIterations bounds the fixed-point iteration of the loop.
+const feedbackIterations = 400
+
+// EffectiveAmpInputDBm returns the amplifier's true input power once the
+// leakage feedback settles, for an external (off-air) input power at the
+// amplifier port. It is the fixed point of
+//
+//	x = ext + feedback(x),  feedback(x) = ampOut(x) − L
+//
+// computed in the linear power domain. Because the amplifier output is
+// bounded by P_sat the iteration always converges; an unstable loop
+// converges to a point deep in compression, which is exactly the physical
+// "saturated, generating garbage" state.
+func (r *Reflector) EffectiveAmpInputDBm(extDBm float64) float64 {
+	if !r.amp.Enabled() {
+		return extDBm
+	}
+	l := r.LeakageDB()
+	extMw := units.DBmToMilliwatts(extDBm)
+	x := extMw
+	for i := 0; i < feedbackIterations; i++ {
+		out := r.amp.OutputPowerDBm(units.MilliwattsToDBm(x))
+		fb := units.DBmToMilliwatts(out - l)
+		next := extMw + fb
+		if math.Abs(next-x) <= 1e-12*math.Max(x, 1e-30) {
+			x = next
+			break
+		}
+		x = next
+	}
+	return units.MilliwattsToDBm(x)
+}
+
+// OutputPowerDBm returns the amplifier output power (at the TX array
+// port) for an external input power, including feedback effects.
+func (r *Reflector) OutputPowerDBm(extDBm float64) float64 {
+	return r.amp.OutputPowerDBm(r.EffectiveAmpInputDBm(extDBm))
+}
+
+// SaturatedAt reports whether the device output is garbage (amplifier
+// compressed ≥1 dB) for the given external input, including feedback.
+func (r *Reflector) SaturatedAt(extDBm float64) bool {
+	return r.amp.Saturated(r.EffectiveAmpInputDBm(extDBm))
+}
+
+// SupplyCurrentA returns what the on-board current sensor reads for the
+// given external input power — the only observable §4.2's algorithm has.
+func (r *Reflector) SupplyCurrentA(extDBm float64) float64 {
+	return r.amp.SupplyCurrentA(r.EffectiveAmpInputDBm(extDBm))
+}
+
+// ThroughGainDB returns the device's end-to-end small-signal gain for a
+// signal arriving from world angle fromDeg and re-radiated toward world
+// angle toDeg: RX array gain + amplifier gain + TX array gain. The second
+// return is false when the device is currently unusable (unstable loop or
+// amplifier saturated at this input), in which case the output is garbage
+// rather than an amplified copy.
+func (r *Reflector) ThroughGainDB(fromDeg, toDeg, extDBm float64) (float64, bool) {
+	if !r.amp.Enabled() || !r.Stable() || r.SaturatedAt(extDBm) {
+		return 0, false
+	}
+	return r.rx.GainDBi(fromDeg) + r.amp.GainDB() + r.tx.GainDBi(toDeg), true
+}
+
+// NoiseFigureDB returns the amplifier chain's noise figure, needed by the
+// relay link-budget math.
+func (r *Reflector) NoiseFigureDB() float64 { return r.cfg.Amp.NoiseFigureDB }
+
+// leakagePattern is a smooth deterministic pseudo-random function of the
+// two beam angles, structured the way Fig 7 presents the measurement: for
+// any fixed RX angle, sweeping the TX beam moves the leakage through a
+// slow envelope plus a fast ripple (together ~15-20 dB peak to peak), and
+// changing the RX angle both shifts the overall level and reshapes the
+// fast structure.
+type leakagePattern struct {
+	txSlow, txFast, rxShift patternTerm
+}
+
+type patternTerm struct {
+	amp, ft, fr, phase float64
+}
+
+func (p patternTerm) eval(t, q float64) float64 {
+	return p.amp * math.Sin(p.ft*t+p.fr*q+p.phase)
+}
+
+func newLeakagePattern(seed int64, slowAmp, fastAmp float64) leakagePattern {
+	rng := rand.New(rand.NewSource(seed))
+	term := func(amp, minFT, maxFT, minFR, maxFR float64) patternTerm {
+		return patternTerm{
+			amp:   amp,
+			ft:    minFT + rng.Float64()*(maxFT-minFT),
+			fr:    minFR + rng.Float64()*(maxFR-minFR),
+			phase: rng.Float64() * 2 * math.Pi,
+		}
+	}
+	return leakagePattern{
+		// Slow TX envelope: ~1 cycle across the scan range, weak RX pull.
+		txSlow: term(slowAmp, 2.5, 4.5, 0.3, 1),
+		// Fast TX ripple: several cycles across the scan, reshaped by RX.
+		txFast: term(fastAmp, 9, 16, 1, 4),
+		// RX-dependent level shift: function of RX angle only.
+		rxShift: term(slowAmp*0.6, 2, 5, 0, 0),
+	}
+}
+
+func (m leakagePattern) at(relTXDeg, relRXDeg float64) float64 {
+	t := units.DegToRad(relTXDeg)
+	q := units.DegToRad(relRXDeg)
+	return m.txSlow.eval(t, q) + m.txFast.eval(t, q) + m.rxShift.eval(q, 0)
+}

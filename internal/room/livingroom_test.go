@@ -1,0 +1,49 @@
+package room
+
+import (
+	"testing"
+
+	"github.com/movr-sim/movr/internal/geom"
+)
+
+func TestLivingRoom(t *testing.T) {
+	r := NewLivingRoom()
+	if r.WidthM != 6 || r.DepthM != 4 {
+		t.Errorf("dimensions = %vx%v", r.WidthM, r.DepthM)
+	}
+	// Perimeter + window + TV cabinet.
+	if len(r.Walls()) != 6 {
+		t.Errorf("wall count = %d, want 6", len(r.Walls()))
+	}
+	// The sofa ships as a standing obstacle.
+	obs := r.Obstacles()
+	if len(obs) != 1 || obs[0].Name != "sofa" {
+		t.Fatalf("obstacles = %v", obs)
+	}
+	// Sofa is low: head-height links pass over it.
+	if obs[0].HeightM >= 1.5 {
+		t.Errorf("sofa height = %v, should be low furniture", obs[0].HeightM)
+	}
+	// A link across the room at headset height clears the sofa
+	// vertically even though it crosses it in plan.
+	a, b := geom.V(0.5, 1.5), geom.V(5.5, 1.5)
+	if r.LOSClear(a, b) {
+		t.Log("plan-view LOS crosses the sofa (expected); vertical clearance is the channel's job")
+	}
+}
+
+func TestLivingRoomMaterials(t *testing.T) {
+	r := NewLivingRoom()
+	var hasGlass, hasWood bool
+	for _, w := range r.Walls() {
+		switch w.Mat {
+		case Glass:
+			hasGlass = true
+		case Wood:
+			hasWood = true
+		}
+	}
+	if !hasGlass || !hasWood {
+		t.Error("living room should have window and cabinet surfaces")
+	}
+}

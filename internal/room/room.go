@@ -1,0 +1,284 @@
+// Package room models the physical environment of the MoVR experiments: a
+// floor plan of walls with mmWave reflection properties, plus the
+// obstacles — hands, heads, bodies, furniture — whose blockage the paper
+// studies (§3).
+//
+// The paper's testbed is "a 5m×5m office" with "standard furniture"; the
+// NewOffice5x5 constructor reproduces it. Walls are line segments with a
+// material that determines how much a specularly reflected mmWave beam is
+// attenuated ("walls are not perfect reflectors and therefore scatter and
+// attenuate the signal significantly", §3). Obstacles are vertical
+// cylinders (discs in the 2-D plan) with a maximum shadowing loss
+// calibrated to the paper's measurements.
+package room
+
+import (
+	"fmt"
+
+	"github.com/movr-sim/movr/internal/geom"
+)
+
+// Material describes how a wall surface interacts with an incident mmWave
+// beam.
+type Material struct {
+	// Name identifies the material in reports.
+	Name string
+
+	// ReflLossDB is the power lost on a specular bounce, in dB.
+	ReflLossDB float64
+}
+
+// Common wall materials with mmWave specular reflection losses drawn from
+// 60 GHz indoor measurement literature (rough painted surfaces; includes
+// scattering loss, which is why even "metal" office furniture is several
+// dB down from an ideal mirror).
+var (
+	Drywall    = Material{Name: "drywall", ReflLossDB: 14}
+	Concrete   = Material{Name: "concrete", ReflLossDB: 15}
+	Glass      = Material{Name: "glass", ReflLossDB: 12}
+	Whiteboard = Material{Name: "whiteboard", ReflLossDB: 12}
+	Metal      = Material{Name: "metal", ReflLossDB: 8}
+	Wood       = Material{Name: "wood", ReflLossDB: 14}
+)
+
+// Wall is a flat reflecting surface in the floor plan.
+type Wall struct {
+	Seg geom.Segment
+	Mat Material
+}
+
+// Obstacle is a cylindrical blocker standing between transmitters and
+// receivers. MaxLossDB is the deep-shadow attenuation when a beam passes
+// through the obstacle's centre; partial grazing produces less loss via
+// knife-edge diffraction (computed in package channel). HeightM is the
+// obstacle's top: rays between elevated endpoints (a wall-mounted
+// reflector, a tripod AP) can pass over people.
+type Obstacle struct {
+	Name      string
+	Shape     geom.Circle
+	MaxLossDB float64
+	HeightM   float64
+}
+
+// Blocker presets calibrated to the paper's §3 measurements: a hand drops
+// SNR "by more than 14 dB"; head and body blockage are progressively
+// worse (Fig 3 bar ordering). Heights are above-floor tops: a raised
+// hand reaches just above the face; a standing adult tops out ~1.9 m.
+const (
+	HandRadiusM = 0.05
+	HeadRadiusM = 0.09
+	BodyRadiusM = 0.20
+
+	HandLossDB = 16
+	HeadLossDB = 22
+	BodyLossDB = 30
+
+	HandHeightM = 1.9
+	HeadHeightM = 1.85
+	BodyHeightM = 1.9
+)
+
+// Hand returns a raised-hand blocker at pos.
+func Hand(pos geom.Vec) Obstacle {
+	return Obstacle{Name: "hand", Shape: geom.Circle{C: pos, R: HandRadiusM},
+		MaxLossDB: HandLossDB, HeightM: HandHeightM}
+}
+
+// Head returns a head-sized blocker at pos.
+func Head(pos geom.Vec) Obstacle {
+	return Obstacle{Name: "head", Shape: geom.Circle{C: pos, R: HeadRadiusM},
+		MaxLossDB: HeadLossDB, HeightM: HeadHeightM}
+}
+
+// Body returns a torso-sized blocker at pos (another person walking
+// through the room, per the paper's third blockage scenario).
+func Body(pos geom.Vec) Obstacle {
+	return Obstacle{Name: "body", Shape: geom.Circle{C: pos, R: BodyRadiusM},
+		MaxLossDB: BodyLossDB, HeightM: BodyHeightM}
+}
+
+// Furniture returns a furniture-sized blocker (e.g. a cabinet) at pos.
+func Furniture(pos geom.Vec, radiusM float64) Obstacle {
+	return Obstacle{Name: "furniture", Shape: geom.Circle{C: pos, R: radiusM},
+		MaxLossDB: 35, HeightM: 1.2}
+}
+
+// Column returns a floor-to-ceiling structural column: it blocks links
+// at any mounting height.
+func Column(pos geom.Vec, radiusM float64) Obstacle {
+	return Obstacle{Name: "column", Shape: geom.Circle{C: pos, R: radiusM},
+		MaxLossDB: 40, HeightM: 3.0}
+}
+
+// Room is a floor plan: its bounding dimensions, reflecting walls, and
+// current obstacles. The zero value is an empty, unbounded room; use New
+// or NewOffice5x5 for a realistic environment.
+type Room struct {
+	// WidthM and DepthM are the bounding dimensions, for placement
+	// helpers and validation.
+	WidthM, DepthM float64
+
+	walls     []Wall
+	obstacles []Obstacle
+}
+
+// New returns a rectangular room of the given dimensions whose four
+// perimeter walls all use the given material. The room spans
+// [0, width] × [0, depth].
+func New(widthM, depthM float64, mat Material) (*Room, error) {
+	if widthM <= 0 || depthM <= 0 {
+		return nil, fmt.Errorf("room: dimensions %vx%v must be positive", widthM, depthM)
+	}
+	r := &Room{WidthM: widthM, DepthM: depthM}
+	corners := []geom.Vec{
+		geom.V(0, 0), geom.V(widthM, 0), geom.V(widthM, depthM), geom.V(0, depthM),
+	}
+	for i := range corners {
+		r.walls = append(r.walls, Wall{
+			Seg: geom.Seg(corners[i], corners[(i+1)%4]),
+			Mat: mat,
+		})
+	}
+	return r, nil
+}
+
+// NewOffice5x5 reproduces the paper's 5 m × 5 m office testbed: drywall
+// perimeter with a whiteboard on the north wall, a metal cabinet along the
+// east wall, and a wooden desk return — "standard furniture" that gives
+// the ray tracer a realistic mix of reflectors.
+func NewOffice5x5() *Room {
+	r, err := New(5, 5, Drywall)
+	if err != nil {
+		panic(err) // fixed literal dimensions; cannot fail
+	}
+	// Whiteboard: a better reflector on part of the north wall.
+	r.walls = append(r.walls, Wall{
+		Seg: geom.Seg(geom.V(1.2, 5), geom.V(3.8, 5)),
+		Mat: Whiteboard,
+	})
+	// Metal cabinet face along the east wall.
+	r.walls = append(r.walls, Wall{
+		Seg: geom.Seg(geom.V(5, 0.8), geom.V(5, 1.9)),
+		Mat: Metal,
+	})
+	// Wooden desk return jutting into the room near the south wall.
+	r.walls = append(r.walls, Wall{
+		Seg: geom.Seg(geom.V(1.0, 0.75), geom.V(2.4, 0.75)),
+		Mat: Wood,
+	})
+	return r
+}
+
+// NewLivingRoom builds a larger 6 m × 4 m domestic room: drywall with a
+// window wall (glass), a TV cabinet (wood), and a sofa as standing
+// furniture — the consumer deployment the paper's introduction targets.
+func NewLivingRoom() *Room {
+	r, err := New(6, 4, Drywall)
+	if err != nil {
+		panic(err) // fixed literal dimensions; cannot fail
+	}
+	// Window along most of the north wall.
+	r.walls = append(r.walls, Wall{
+		Seg: geom.Seg(geom.V(1.0, 4), geom.V(5.0, 4)),
+		Mat: Glass,
+	})
+	// TV cabinet on the south wall.
+	r.walls = append(r.walls, Wall{
+		Seg: geom.Seg(geom.V(2.2, 0.4), geom.V(3.8, 0.4)),
+		Mat: Wood,
+	})
+	// Sofa: a long low obstacle mid-room.
+	r.obstacles = append(r.obstacles,
+		Obstacle{Name: "sofa", Shape: geom.Circle{C: geom.V(3.0, 1.5), R: 0.5},
+			MaxLossDB: 30, HeightM: 0.8},
+	)
+	return r
+}
+
+// AddWall appends an interior or replacement wall.
+func (r *Room) AddWall(w Wall) { r.walls = append(r.walls, w) }
+
+// Walls returns the room's reflecting surfaces. The returned slice is
+// shared; callers must not modify it.
+func (r *Room) Walls() []Wall { return r.walls }
+
+// AddObstacle places an obstacle in the room and returns its index, which
+// can be passed to RemoveObstacle.
+func (r *Room) AddObstacle(o Obstacle) int {
+	r.obstacles = append(r.obstacles, o)
+	return len(r.obstacles) - 1
+}
+
+// RemoveObstacle removes the obstacle at the given index (as returned by
+// AddObstacle). Removing an out-of-range index is a no-op. Indices of
+// later obstacles shift down by one.
+func (r *Room) RemoveObstacle(i int) {
+	if i < 0 || i >= len(r.obstacles) {
+		return
+	}
+	r.obstacles = append(r.obstacles[:i], r.obstacles[i+1:]...)
+}
+
+// ClearObstacles removes all obstacles.
+func (r *Room) ClearObstacles() { r.obstacles = r.obstacles[:0] }
+
+// Obstacles returns the current obstacles. The returned slice is shared;
+// callers must not modify it.
+func (r *Room) Obstacles() []Obstacle { return r.obstacles }
+
+// MoveObstacle repositions the obstacle at index i, preserving its size
+// and loss. Out-of-range indices are a no-op.
+func (r *Room) MoveObstacle(i int, pos geom.Vec) {
+	if i < 0 || i >= len(r.obstacles) {
+		return
+	}
+	r.obstacles[i].Shape.C = pos
+}
+
+// InBounds reports whether p lies within the room's bounding rectangle
+// (with a small margin so wall-mounted devices validate).
+func (r *Room) InBounds(p geom.Vec) bool {
+	const eps = 1e-9
+	return p.X >= -eps && p.X <= r.WidthM+eps && p.Y >= -eps && p.Y <= r.DepthM+eps
+}
+
+// SegmentObstructions returns the obstacles whose discs the segment a→b
+// passes through, in path order (by entry parameter along the segment).
+func (r *Room) SegmentObstructions(a, b geom.Vec) []Obstacle {
+	type hit struct {
+		o Obstacle
+		t float64
+	}
+	seg := geom.Seg(a, b)
+	var hits []hit
+	for _, o := range r.obstacles {
+		if t0, _, ok := o.Shape.ChordParams(seg); ok {
+			hits = append(hits, hit{o, t0})
+		}
+	}
+	// Insertion sort by entry parameter; obstacle counts are tiny.
+	for i := 1; i < len(hits); i++ {
+		for j := i; j > 0 && hits[j].t < hits[j-1].t; j-- {
+			hits[j], hits[j-1] = hits[j-1], hits[j]
+		}
+	}
+	out := make([]Obstacle, len(hits))
+	for i, h := range hits {
+		out[i] = h.o
+	}
+	return out
+}
+
+// LOSClear reports whether the straight path a→b is free of obstacles.
+// Walls are intentionally not considered: perimeter walls cannot stand
+// between two in-room points, and interior reflectors (whiteboard,
+// cabinet faces) are modelled as reflecting surfaces only.
+func (r *Room) LOSClear(a, b geom.Vec) bool {
+	seg := geom.Seg(a, b)
+	for _, o := range r.obstacles {
+		if o.Shape.IntersectsSegment(seg) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,145 @@
+package room
+
+import (
+	"testing"
+
+	"github.com/movr-sim/movr/internal/geom"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 5, Drywall); err == nil {
+		t.Error("zero width should error")
+	}
+	if _, err := New(5, -1, Drywall); err == nil {
+		t.Error("negative depth should error")
+	}
+	r, err := New(4, 3, Concrete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Walls()) != 4 {
+		t.Errorf("wall count = %d", len(r.Walls()))
+	}
+	for _, w := range r.Walls() {
+		if w.Mat != Concrete {
+			t.Errorf("wall material = %v", w.Mat)
+		}
+	}
+}
+
+func TestOffice5x5(t *testing.T) {
+	r := NewOffice5x5()
+	if r.WidthM != 5 || r.DepthM != 5 {
+		t.Errorf("dimensions = %vx%v", r.WidthM, r.DepthM)
+	}
+	// Perimeter + whiteboard + cabinet + desk.
+	if len(r.Walls()) != 7 {
+		t.Errorf("wall count = %d, want 7", len(r.Walls()))
+	}
+	// The metal cabinet must be the lowest-loss reflector.
+	bestLoss := 1e9
+	for _, w := range r.Walls() {
+		if w.Mat.ReflLossDB < bestLoss {
+			bestLoss = w.Mat.ReflLossDB
+		}
+	}
+	if bestLoss != Metal.ReflLossDB {
+		t.Errorf("best reflector loss = %v, want metal %v", bestLoss, Metal.ReflLossDB)
+	}
+}
+
+func TestInBounds(t *testing.T) {
+	r := NewOffice5x5()
+	if !r.InBounds(geom.V(2.5, 2.5)) {
+		t.Error("centre should be in bounds")
+	}
+	if !r.InBounds(geom.V(0, 5)) {
+		t.Error("wall corner should be in bounds")
+	}
+	if r.InBounds(geom.V(-0.1, 2)) || r.InBounds(geom.V(2, 5.1)) {
+		t.Error("outside points should be out of bounds")
+	}
+}
+
+func TestLOSAndObstacles(t *testing.T) {
+	r := NewOffice5x5()
+	a, b := geom.V(0.5, 2.5), geom.V(4.5, 2.5)
+	if !r.LOSClear(a, b) {
+		t.Fatal("empty room should have clear LOS")
+	}
+	idx := r.AddObstacle(Hand(geom.V(2.5, 2.5)))
+	if r.LOSClear(a, b) {
+		t.Error("hand on the path should block LOS")
+	}
+	obs := r.SegmentObstructions(a, b)
+	if len(obs) != 1 || obs[0].Name != "hand" {
+		t.Errorf("obstructions = %v", obs)
+	}
+	r.RemoveObstacle(idx)
+	if !r.LOSClear(a, b) {
+		t.Error("LOS should be restored after removal")
+	}
+}
+
+func TestSegmentObstructionsOrdered(t *testing.T) {
+	r := NewOffice5x5()
+	// Add out of path order on purpose.
+	r.AddObstacle(Body(geom.V(4.0, 2.5)))
+	r.AddObstacle(Hand(geom.V(1.0, 2.5)))
+	obs := r.SegmentObstructions(geom.V(0.2, 2.5), geom.V(4.8, 2.5))
+	if len(obs) != 2 {
+		t.Fatalf("obstruction count = %d", len(obs))
+	}
+	if obs[0].Name != "hand" || obs[1].Name != "body" {
+		t.Errorf("obstructions out of order: %v, %v", obs[0].Name, obs[1].Name)
+	}
+}
+
+func TestObstacleManagement(t *testing.T) {
+	r := NewOffice5x5()
+	i := r.AddObstacle(Head(geom.V(1, 1)))
+	r.MoveObstacle(i, geom.V(2, 2))
+	if got := r.Obstacles()[i].Shape.C; !got.AlmostEqual(geom.V(2, 2), 1e-12) {
+		t.Errorf("moved obstacle at %v", got)
+	}
+	// Out-of-range ops are no-ops.
+	r.MoveObstacle(99, geom.V(0, 0))
+	r.RemoveObstacle(-1)
+	r.RemoveObstacle(99)
+	if len(r.Obstacles()) != 1 {
+		t.Errorf("obstacle count = %d", len(r.Obstacles()))
+	}
+	r.ClearObstacles()
+	if len(r.Obstacles()) != 0 {
+		t.Error("ClearObstacles failed")
+	}
+}
+
+func TestBlockerPresets(t *testing.T) {
+	h := Hand(geom.V(0, 0))
+	hd := Head(geom.V(0, 0))
+	b := Body(geom.V(0, 0))
+	// Paper ordering (Fig 3): hand < head < body in shadowing depth.
+	if !(h.MaxLossDB < hd.MaxLossDB && hd.MaxLossDB < b.MaxLossDB) {
+		t.Errorf("loss ordering violated: %v %v %v", h.MaxLossDB, hd.MaxLossDB, b.MaxLossDB)
+	}
+	// Hand must exceed the paper's ">14 dB" SNR drop.
+	if h.MaxLossDB <= 14 {
+		t.Errorf("hand loss = %v, paper says >14", h.MaxLossDB)
+	}
+	if !(h.Shape.R < hd.Shape.R && hd.Shape.R < b.Shape.R) {
+		t.Error("radius ordering violated")
+	}
+	f := Furniture(geom.V(1, 1), 0.4)
+	if f.Shape.R != 0.4 || f.MaxLossDB < b.MaxLossDB {
+		t.Errorf("furniture preset = %+v", f)
+	}
+}
+
+func TestAddWall(t *testing.T) {
+	r, _ := New(5, 5, Drywall)
+	r.AddWall(Wall{Seg: geom.Seg(geom.V(2, 2), geom.V(3, 2)), Mat: Metal})
+	if len(r.Walls()) != 5 {
+		t.Errorf("wall count = %d", len(r.Walls()))
+	}
+}

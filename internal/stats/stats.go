@@ -1,0 +1,262 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to summarize Monte-Carlo runs: means, percentiles,
+// empirical CDFs, and histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (n−1 denominator),
+// or 0 for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min returns the smallest value in xs, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value in xs, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between order statistics. It returns NaN for an empty
+// slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary aggregates the descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	P95    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		P25:    Percentile(xs, 25),
+		Median: Median(xs),
+		P75:    Percentile(xs, 75),
+		P95:    Percentile(xs, 95),
+		Max:    Max(xs),
+	}
+}
+
+// String renders the summary as a single human-readable line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.P95, s.Max)
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample xs. The input slice is
+// not modified.
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the number of samples backing the CDF.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X ≤ x), the fraction of samples at or below x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	// Index of first element > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest sample value v such that At(v) ≥ q, for
+// q in (0, 1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// Points returns the step points of the CDF as parallel slices of sample
+// values and cumulative probabilities, suitable for plotting.
+func (c *CDF) Points() (xs, ps []float64) {
+	n := len(c.sorted)
+	xs = append([]float64(nil), c.sorted...)
+	ps = make([]float64, n)
+	for i := range ps {
+		ps[i] = float64(i+1) / float64(n)
+	}
+	return xs, ps
+}
+
+// Histogram bins the sample xs into n equal-width bins spanning
+// [min, max]. It returns the bin edges (n+1 values) and counts (n values).
+// An empty sample or non-positive n yields nil slices.
+func Histogram(xs []float64, n int) (edges []float64, counts []int) {
+	if len(xs) == 0 || n <= 0 {
+		return nil, nil
+	}
+	lo, hi := Min(xs), Max(xs)
+	if hi == lo {
+		hi = lo + 1
+	}
+	edges = make([]float64, n+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	counts = make([]int, n)
+	for _, x := range xs {
+		i := int((x - lo) / (hi - lo) * float64(n))
+		if i >= n {
+			i = n - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		counts[i]++
+	}
+	return edges, counts
+}
+
+// LinearFit returns the slope and intercept of the least-squares line
+// through (xs[i], ys[i]). It returns NaNs when the fit is undefined
+// (fewer than two points, mismatched lengths, or zero variance in xs).
+func LinearFit(xs, ys []float64) (slope, intercept float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN(), math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return math.NaN(), math.NaN()
+	}
+	slope = sxy / sxx
+	return slope, my - slope*mx
+}
+
+// MeanAbsError returns the mean absolute difference between parallel
+// slices a and b, or NaN when the lengths differ or are zero.
+func MeanAbsError(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / float64(len(a))
+}
+
+// MaxAbsError returns the maximum absolute difference between parallel
+// slices a and b, or NaN when the lengths differ or are zero.
+func MaxAbsError(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,168 @@
+// Package stream simulates the VR video stream over the wireless link:
+// uncompressed frames arrive at the display rate and must cross the link
+// before the next frame lands ("the headset updates the display every
+// 10ms"; VR data "cannot tolerate any degradation in SNR and data rate",
+// paper §1/§2).
+//
+// A frame whose transmission cannot finish within its display interval
+// is a glitch — the user-visible artifact the paper's Figure 1 cable
+// avoids and MoVR must match.
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/movr-sim/movr/internal/sim"
+	"github.com/movr-sim/movr/internal/units"
+	"github.com/movr-sim/movr/internal/vr"
+)
+
+// RateFunc reports the link's current PHY rate in bits per second at a
+// virtual time.
+type RateFunc func(now time.Duration) float64
+
+// Report summarizes a streaming session.
+type Report struct {
+	// Frames is the number of frames generated.
+	Frames int
+
+	// Delivered counts frames that arrived within their deadline.
+	Delivered int
+
+	// Glitches counts frames that missed the deadline (late or
+	// undeliverable).
+	Glitches int
+
+	// LongestOutage is the longest run of consecutive glitched frames,
+	// in time.
+	LongestOutage time.Duration
+
+	// MeanLatency is the mean delivery latency of delivered frames.
+	MeanLatency time.Duration
+
+	// P99Latency is the 99th-percentile delivery latency of delivered
+	// frames.
+	P99Latency time.Duration
+
+	// GlitchFrac is Glitches/Frames.
+	GlitchFrac float64
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("frames=%d delivered=%d glitches=%d (%.1f%%) meanLat=%v p99Lat=%v worstOutage=%v",
+		r.Frames, r.Delivered, r.Glitches, 100*r.GlitchFrac, r.MeanLatency, r.P99Latency, r.LongestOutage)
+}
+
+// Config describes the stream.
+type Config struct {
+	// Display is the headset display generating frames.
+	Display vr.DisplaySpec
+
+	// Duration is the session length.
+	Duration time.Duration
+}
+
+// Run simulates frame delivery: each frame interval a frame of
+// Display.FrameBits() bits is offered to the link; the link drains it at
+// rate(t), re-sampled every slice of the frame interval to track SNR
+// changes. A frame that fails to finish within one frame interval is a
+// glitch (the display shows a stale frame) and is then abandoned —
+// matching a real-time uncompressed pipeline with no retransmission
+// budget.
+func Run(engine *sim.Engine, cfg Config, rate RateFunc) Report {
+	interval := cfg.Display.FrameInterval()
+	frameBits := cfg.Display.FrameBits()
+	const slices = 10 // rate re-sampling granularity within a frame
+
+	rep := Report{}
+	var latencies []time.Duration
+	outage := time.Duration(0)
+
+	frames := int(cfg.Duration / interval)
+	for i := 0; i < frames; i++ {
+		start := time.Duration(i) * interval
+		engine.At(start, func() {
+			rep.Frames++
+			remaining := frameBits
+			elapsed := time.Duration(0)
+			slice := interval / slices
+			for s := 0; s < slices; s++ {
+				r := rate(engine.Now() + elapsed)
+				remaining -= r * slice.Seconds()
+				elapsed += slice
+				if remaining <= 0 {
+					// Frame done within this slice; refine the finish
+					// time by backing out the overshoot.
+					over := -remaining
+					if r > 0 {
+						elapsed -= time.Duration(over / r * float64(time.Second))
+					}
+					break
+				}
+			}
+			if remaining <= 0 && elapsed <= interval {
+				rep.Delivered++
+				latencies = append(latencies, elapsed)
+				outage = 0
+			} else {
+				rep.Glitches++
+				outage += interval
+				if outage > rep.LongestOutage {
+					rep.LongestOutage = outage
+				}
+			}
+		})
+	}
+	engine.Run(cfg.Duration)
+
+	if len(latencies) > 0 {
+		var sum time.Duration
+		xs := make([]float64, len(latencies))
+		for i, l := range latencies {
+			sum += l
+			xs[i] = float64(l)
+		}
+		rep.MeanLatency = sum / time.Duration(len(latencies))
+		rep.P99Latency = time.Duration(percentile(xs, 99))
+	}
+	if rep.Frames > 0 {
+		rep.GlitchFrac = float64(rep.Glitches) / float64(rep.Frames)
+	}
+	return rep
+}
+
+// percentile is a local helper (kept here to avoid importing stats just
+// for one call in the hot path).
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Insertion sort: latency lists are short-lived, frames ~ thousands.
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// ConstantRate returns a RateFunc pinned at rateBps.
+func ConstantRate(rateBps float64) RateFunc {
+	return func(time.Duration) float64 { return rateBps }
+}
+
+// RequiredRateBps returns the minimum constant link rate that delivers
+// every frame of the display within its interval — the paper's
+// "multiple Gbps" requirement, derived rather than asserted.
+func RequiredRateBps(d vr.DisplaySpec) float64 {
+	return d.FrameBits() / d.FrameInterval().Seconds()
+}
+
+// GbpsString formats a rate for reports.
+func GbpsString(rateBps float64) string {
+	return fmt.Sprintf("%.2f Gbps", rateBps/units.Gbps)
+}

@@ -1,0 +1,64 @@
+package vr
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/units"
+)
+
+func TestStandingTrace(t *testing.T) {
+	pos := geom.V(2.5, 2.5)
+	tr := StandingTrace(pos, 90, 10*time.Second, 10*time.Millisecond, 3)
+	if len(tr) != 1001 {
+		t.Fatalf("samples = %d", len(tr))
+	}
+	handUp := 0
+	for _, p := range tr {
+		if !p.Pos.AlmostEqual(pos, 1e-12) {
+			t.Fatal("standing trace moved")
+		}
+		// Yaw stays within the scan arc.
+		if d := math.Abs(units.AngleDiffDeg(p.YawDeg, 90)); d > 41 {
+			t.Fatalf("yaw %v outside scan arc", p.YawDeg)
+		}
+		if p.HandRaised {
+			handUp++
+		}
+	}
+	if handUp == 0 {
+		t.Error("no hand raises in a shooter trace")
+	}
+	s := Summarize(tr)
+	if s.DistanceM > 1e-9 {
+		t.Error("distance should be zero")
+	}
+}
+
+func TestPacingTrace(t *testing.T) {
+	a, b := geom.V(1, 1), geom.V(4, 1)
+	tr := PacingTrace(a, b, 1.0, 12*time.Second, 20*time.Millisecond)
+	// Round trip period = 6 s: the trace covers two full trips.
+	s := Summarize(tr)
+	if s.DistanceM < 10 || s.DistanceM > 13 {
+		t.Errorf("distance = %v, want ~12 m", s.DistanceM)
+	}
+	// Positions stay on the segment.
+	for _, p := range tr {
+		if p.Pos.Y != 1 || p.Pos.X < 1-1e-9 || p.Pos.X > 4+1e-9 {
+			t.Fatalf("pose off the pacing line: %v", p.Pos)
+		}
+	}
+	// Yaw flips 180° between the outbound leg (t=0.2 s) and the return
+	// leg (t=3.2 s of the 6 s round trip).
+	if tr[10].YawDeg == tr[160].YawDeg {
+		t.Error("yaw should flip at the turn")
+	}
+	// Degenerate inputs survive.
+	same := PacingTrace(a, a, 0, time.Second, 100*time.Millisecond)
+	if len(same) == 0 {
+		t.Error("degenerate pacing trace empty")
+	}
+}

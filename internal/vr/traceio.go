@@ -1,0 +1,71 @@
+package vr
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/movr-sim/movr/internal/geom"
+)
+
+// traceFile is the JSON wire format for a motion trace.
+type traceFile struct {
+	Version int          `json:"version"`
+	Samples []poseSample `json:"samples"`
+}
+
+type poseSample struct {
+	TMs        float64 `json:"t_ms"`
+	X          float64 `json:"x"`
+	Y          float64 `json:"y"`
+	YawDeg     float64 `json:"yaw_deg"`
+	HandRaised bool    `json:"hand,omitempty"`
+}
+
+// traceFileVersion is the current wire-format version.
+const traceFileVersion = 1
+
+// Save writes the trace as JSON, suitable for replaying a session across
+// tools or committing a regression fixture.
+func (t Trace) Save(w io.Writer) error {
+	f := traceFile{Version: traceFileVersion, Samples: make([]poseSample, len(t))}
+	for i, p := range t {
+		f.Samples[i] = poseSample{
+			TMs:        float64(p.T) / float64(time.Millisecond),
+			X:          p.Pos.X,
+			Y:          p.Pos.Y,
+			YawDeg:     p.YawDeg,
+			HandRaised: p.HandRaised,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// Load reads a trace previously written by Save, validating version and
+// time ordering.
+func Load(r io.Reader) (Trace, error) {
+	var f traceFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("vr: decoding trace: %w", err)
+	}
+	if f.Version != traceFileVersion {
+		return nil, fmt.Errorf("vr: unsupported trace version %d", f.Version)
+	}
+	t := make(Trace, len(f.Samples))
+	prev := -1.0
+	for i, s := range f.Samples {
+		if s.TMs < prev {
+			return nil, fmt.Errorf("vr: trace timestamps not monotone at sample %d", i)
+		}
+		prev = s.TMs
+		t[i] = Pose{
+			T:          time.Duration(s.TMs * float64(time.Millisecond)),
+			Pos:        geom.V(s.X, s.Y),
+			YawDeg:     s.YawDeg,
+			HandRaised: s.HandRaised,
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,61 @@
+package vr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultTraceConfig(5, 5, 9)
+	cfg.Duration = 2 * time.Second
+	orig, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(orig) {
+		t.Fatalf("length %d vs %d", len(loaded), len(orig))
+	}
+	for i := range orig {
+		if !loaded[i].Pos.AlmostEqual(orig[i].Pos, 1e-9) ||
+			loaded[i].HandRaised != orig[i].HandRaised {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, loaded[i], orig[i])
+		}
+		// Timestamps survive within a millisecond-scale rounding.
+		if d := loaded[i].T - orig[i].T; d > time.Microsecond || d < -time.Microsecond {
+			t.Fatalf("sample %d time differs by %v", i, d)
+		}
+	}
+}
+
+func TestTraceLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99,"samples":[]}`)); err == nil {
+		t.Error("bad version should fail")
+	}
+	bad := `{"version":1,"samples":[{"t_ms":10,"x":1,"y":1},{"t_ms":5,"x":1,"y":1}]}`
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Error("non-monotone timestamps should fail")
+	}
+}
+
+func TestTraceLoadEmpty(t *testing.T) {
+	tr, err := Load(strings.NewReader(`{"version":1,"samples":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 0 {
+		t.Error("empty trace should load empty")
+	}
+}

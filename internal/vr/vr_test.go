@@ -1,0 +1,162 @@
+package vr
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/units"
+)
+
+func TestHTCViveDisplay(t *testing.T) {
+	d := HTCVive()
+	// 2160*1200*24*90 = 5.6 Gbps — "multiple Gbps" (paper §1).
+	raw := d.RawRateBps()
+	if math.Abs(raw-5.598e9) > 1e7 {
+		t.Errorf("raw rate = %v", raw)
+	}
+	if raw < 2*units.Gbps {
+		t.Error("VR raw rate must be multiple Gbps")
+	}
+	// 90 Hz -> ~11 ms frame interval (paper: "updates the display every
+	// 10ms").
+	if iv := d.FrameInterval(); iv < 10*time.Millisecond || iv > 12*time.Millisecond {
+		t.Errorf("frame interval = %v", iv)
+	}
+	if d.FrameBits() != 2160*1200*24 {
+		t.Errorf("frame bits = %v", d.FrameBits())
+	}
+	if d.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(TraceConfig{Duration: 0, Step: time.Millisecond, RoomW: 5, RoomD: 5}); err == nil {
+		t.Error("zero duration should fail")
+	}
+	if _, err := Generate(TraceConfig{Duration: time.Second, Step: 0, RoomW: 5, RoomD: 5}); err == nil {
+		t.Error("zero step should fail")
+	}
+	if _, err := Generate(TraceConfig{Duration: time.Second, Step: time.Millisecond, RoomW: 0.5, RoomD: 5}); err == nil {
+		t.Error("tiny room should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultTraceConfig(5, 5, 42)
+	cfg.Duration = 2 * time.Second
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+	cfg.Seed = 43
+	c, _ := Generate(cfg)
+	same := true
+	for i := range a {
+		if a[i].Pos != c[i].Pos {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should give different traces")
+	}
+}
+
+func TestTraceStaysInRoom(t *testing.T) {
+	cfg := DefaultTraceConfig(5, 5, 7)
+	cfg.Duration = 30 * time.Second
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr {
+		if p.Pos.X < 0 || p.Pos.X > 5 || p.Pos.Y < 0 || p.Pos.Y > 5 {
+			t.Fatalf("pose outside room: %+v", p)
+		}
+	}
+}
+
+func TestTraceRealism(t *testing.T) {
+	cfg := DefaultTraceConfig(5, 5, 11)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(tr)
+	// Walking speed near the configured mean.
+	if s.MeanSpeedMps < 0.2 || s.MeanSpeedMps > 1.2 {
+		t.Errorf("mean speed = %v m/s", s.MeanSpeedMps)
+	}
+	// Hands up a noticeable but minor fraction of the time.
+	if s.HandUpFrac <= 0 || s.HandUpFrac > 0.6 {
+		t.Errorf("hand-up fraction = %v", s.HandUpFrac)
+	}
+	// The player actually looks around.
+	if s.YawRangeDeg < 45 {
+		t.Errorf("yaw range = %v°, too static", s.YawRangeDeg)
+	}
+	if s.Samples != int(cfg.Duration/cfg.Step)+1 {
+		t.Errorf("samples = %d", s.Samples)
+	}
+}
+
+func TestTraceAt(t *testing.T) {
+	tr := Trace{
+		{T: 0, YawDeg: 10},
+		{T: time.Second, YawDeg: 20},
+		{T: 2 * time.Second, YawDeg: 30},
+	}
+	cases := []struct {
+		d    time.Duration
+		want float64
+	}{
+		{-time.Second, 10},
+		{0, 10},
+		{500 * time.Millisecond, 10},
+		{time.Second, 20},
+		{1500 * time.Millisecond, 20},
+		{5 * time.Second, 30},
+	}
+	for _, c := range cases {
+		if got := tr.At(c.d); got.YawDeg != c.want {
+			t.Errorf("At(%v).Yaw = %v, want %v", c.d, got.YawDeg, c.want)
+		}
+	}
+	if (Trace{}).At(0) != (Pose{}) {
+		t.Error("empty trace At should be zero pose")
+	}
+	if tr.Duration() != 2*time.Second {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+	if (Trace{}).Duration() != 0 {
+		t.Error("empty Duration should be 0")
+	}
+}
+
+func TestHandPos(t *testing.T) {
+	p := Pose{Pos: geom.V(0, 0), YawDeg: 0}
+	h := p.HandPos()
+	if math.Abs(h.X-0.35) > 1e-9 || math.Abs(h.Y) > 1e-9 {
+		t.Errorf("hand at %v", h)
+	}
+	p.YawDeg = 90
+	h = p.HandPos()
+	if math.Abs(h.Y-0.35) > 1e-9 || math.Abs(h.X) > 1e-9 {
+		t.Errorf("rotated hand at %v", h)
+	}
+}
