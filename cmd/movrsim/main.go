@@ -17,16 +17,21 @@
 //	deployment multi-AP vs AP+reflector coverage and cost (§1)
 //	map        room coverage heatmaps with and without MoVR
 //	ablations  design-choice ablation tables
+//	fleet      N concurrent sessions across diverse deployments
 //	all        everything above, in paper order
 //
 // Flags:
 //
-//	-seed N    random seed (default 1)
-//	-runs N    Monte-Carlo runs where applicable (default: paper scale)
-//	-fast      reduce run counts and sweep resolution for a quick pass
+//	-seed N       random seed (default 1)
+//	-runs N       Monte-Carlo runs where applicable (default: paper scale)
+//	-fast         reduce run counts and sweep resolution for a quick pass
+//	-workers N    worker-pool size for fleet, fig9 and map (0 = all cores)
+//	-sessions N   fleet session count (default 24)
+//	-scenario S   fleet scenario: mixed|arcade|home|dense (default mixed)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +44,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	runs := flag.Int("runs", 0, "Monte-Carlo runs (0 = paper default)")
 	fast := flag.Bool("fast", false, "quick pass: fewer runs, coarser sweeps")
+	workers := flag.Int("workers", 0, "worker-pool size for fleet, fig9 and map (0 = all cores)")
+	sessions := flag.Int("sessions", 24, "fleet session count")
+	scenario := flag.String("scenario", "mixed", "fleet scenario: mixed|arcade|home|dense")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -56,7 +64,7 @@ func main() {
 	case "fig8":
 		runFig8(*seed, *runs, *fast)
 	case "fig9":
-		runFig9(*seed, *runs, *fast)
+		runFig9(*seed, *runs, *workers, *fast)
 	case "battery":
 		fmt.Print(movr.RunBattery(movr.DefaultBatteryConfig()).Render())
 	case "latency":
@@ -66,9 +74,11 @@ func main() {
 	case "deployment":
 		fmt.Print(movr.RunDeployment().Render())
 	case "map":
-		runMap()
+		runMap(*workers)
 	case "ablations":
 		runAblations(*seed)
+	case "fleet":
+		runFleet(*seed, *workers, *sessions, *scenario, *fast)
 	case "all":
 		runFig3(*seed, *runs, *fast)
 		fmt.Println()
@@ -76,7 +86,7 @@ func main() {
 		fmt.Println()
 		runFig8(*seed, *runs, *fast)
 		fmt.Println()
-		runFig9(*seed, *runs, *fast)
+		runFig9(*seed, *runs, *workers, *fast)
 		fmt.Println()
 		fmt.Print(movr.RunBattery(movr.DefaultBatteryConfig()).Render())
 		fmt.Println()
@@ -86,9 +96,11 @@ func main() {
 		fmt.Println()
 		fmt.Print(movr.RunDeployment().Render())
 		fmt.Println()
-		runMap()
+		runMap(*workers)
 		fmt.Println()
 		runAblations(*seed)
+		fmt.Println()
+		runFleet(*seed, *workers, *sessions, *scenario, *fast)
 	default:
 		fmt.Fprintf(os.Stderr, "movrsim: unknown experiment %q\n\n", cmd)
 		usage()
@@ -100,7 +112,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `movrsim — MoVR (HotNets'16) evaluation reproduction
 
-usage: movrsim [flags] <fig3|fig7|fig8|fig9|battery|latency|session|deployment|map|ablations|all>
+usage: movrsim [flags] <fig3|fig7|fig8|fig9|battery|latency|session|deployment|map|ablations|fleet|all>
 
 flags:
 `)
@@ -138,9 +150,10 @@ func runFig8(seed int64, runs int, fast bool) {
 	fmt.Print(movr.RunFig8(cfg).Render())
 }
 
-func runFig9(seed int64, runs int, fast bool) {
+func runFig9(seed int64, runs, workers int, fast bool) {
 	cfg := movr.DefaultFig9Config()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if runs > 0 {
 		cfg.Runs = runs
 	}
@@ -160,10 +173,47 @@ func runSession(seed int64, fast bool) {
 	fmt.Print(movr.RunSession(cfg).Render())
 }
 
-func runMap() {
-	fmt.Print(movr.RunHeatmap(movr.DefaultHeatmapConfig(false)).Render("VR coverage — bare AP"))
+func runMap(workers int) {
+	bare := movr.DefaultHeatmapConfig(false)
+	bare.Workers = workers
+	with := movr.DefaultHeatmapConfig(true)
+	with.Workers = workers
+	fmt.Print(movr.RunHeatmap(bare).Render("VR coverage — bare AP"))
 	fmt.Println()
-	fmt.Print(movr.RunHeatmap(movr.DefaultHeatmapConfig(true)).Render("VR coverage — AP + MoVR reflector"))
+	fmt.Print(movr.RunHeatmap(with).Render("VR coverage — AP + MoVR reflector"))
+}
+
+func runFleet(seed int64, workers, sessions int, scenario string, fast bool) {
+	cfg := movr.FleetScenarioConfig{Seed: seed, Duration: 10 * time.Second}
+	if fast {
+		cfg.Duration = 2 * time.Second
+		cfg.ReEvalPeriod = 100 * time.Millisecond
+	}
+	var specs []movr.FleetSpec
+	title := ""
+	switch scenario {
+	case "mixed":
+		specs = movr.MixedFleet(sessions, cfg)
+		title = "Fleet — mixed deployments (arcade + homes + dense blockers)"
+	case "arcade":
+		specs = movr.ArcadeFleetN(sessions, cfg)
+		title = "Fleet — VR arcade (8×8 m bays, 4 players each)"
+	case "home":
+		specs = movr.HomesFleet(sessions, cfg)
+		title = "Fleet — homes (one headset per room)"
+	case "dense":
+		specs = movr.DenseBlockerFleet(sessions, 6, cfg)
+		title = "Fleet — dense-blocker stress (office + 6 obstacles)"
+	default:
+		fmt.Fprintf(os.Stderr, "movrsim: unknown scenario %q (mixed|arcade|home|dense)\n", scenario)
+		os.Exit(2)
+	}
+	res, err := movr.RunFleet(context.Background(), specs, movr.FleetConfig{Workers: workers})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "movrsim: fleet: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Render(title))
 }
 
 func runAblations(seed int64) {

@@ -25,7 +25,14 @@
 //     streaming simulator, and the paper's comparison baselines;
 //   - reproductions of every figure in the paper's evaluation (Fig 3,
 //     7, 8, 9) plus the §6 battery and latency analyses, exposed as
-//     seeded, deterministic experiments.
+//     seeded, deterministic experiments;
+//   - a fleet engine (RunFleet with the Arcade/Homes/DenseBlocker/Mixed
+//     scenario generators) that simulates many concurrent VR sessions —
+//     distinct rooms, seeds, reflector deployments and motion traces —
+//     across a bounded worker pool and aggregates them into fleet-level
+//     percentile statistics, byte-identical for any worker count. The
+//     heavy experiment sweeps (coverage heatmap, Fig 9 trials, the
+//     ablations) fan out through the same pool.
 //
 // # Quick start
 //

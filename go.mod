@@ -1,0 +1,3 @@
+module github.com/movr-sim/movr
+
+go 1.24

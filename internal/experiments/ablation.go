@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -9,11 +10,28 @@ import (
 	"github.com/movr-sim/movr/internal/align"
 	"github.com/movr-sim/movr/internal/antenna"
 	"github.com/movr-sim/movr/internal/control"
+	"github.com/movr-sim/movr/internal/fleet/pool"
 	"github.com/movr-sim/movr/internal/gainctl"
 	"github.com/movr-sim/movr/internal/geom"
 	"github.com/movr-sim/movr/internal/reflector"
 	"github.com/movr-sim/movr/internal/stats"
 )
+
+// ablate fans a sweep's points across the fleet worker pool. Each point
+// computes one row independently; rows come back in sweep order, so the
+// tables are identical to a serial run. Sweep points cannot fail — only
+// a worker panic surfaces, re-raised here as an error naming the
+// failing point (the pool recovers the original panic, so its value and
+// stack are folded into the message).
+func ablate[T any](n int, point func(i int) T) []T {
+	rows, err := pool.Map(context.Background(), n, 0, func(_ context.Context, i int) (T, error) {
+		return point(i), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return rows
+}
 
 // GainBackoffRow is one point of the gain-control margin ablation.
 type GainBackoffRow struct {
@@ -32,42 +50,61 @@ type GainBackoffRow struct {
 // gain but risks instability when beam tracking moves the leakage; a
 // large back-off is safe but wastes SNR.
 func AblationGainBackoff(seed int64) []GainBackoffRow {
+	backoffs := []int{1, 2, 4, 8, 16}
+	const trials = 40
+
+	// Pre-draw each trial's randomness serially, in the historical
+	// backoff-major order, so the parallel sweep below measures exactly
+	// the devices and drifts a serial run would.
+	type draw struct {
+		devSeed        int64
+		beamDeg, drift float64
+	}
 	rng := rand.New(rand.NewSource(seed))
-	var rows []GainBackoffRow
-	for _, backoff := range []int{1, 2, 4, 8, 16} {
+	draws := make([][]draw, len(backoffs))
+	for bi := range backoffs {
+		draws[bi] = make([]draw, trials)
+		for i := range draws[bi] {
+			draws[bi][i] = draw{
+				devSeed: rng.Int63n(1 << 30),
+				beamDeg: 270 + rng.Float64()*60 - 30,
+				drift:   rng.Float64()*10 - 5,
+			}
+		}
+	}
+
+	return ablate(len(backoffs), func(bi int) GainBackoffRow {
 		cfg := gainctl.DefaultConfig()
-		cfg.BackoffSteps = backoff
+		cfg.BackoffSteps = backoffs[bi]
 		var gains, margins []float64
 		unstable := 0
-		const trials = 40
 		for i := 0; i < trials; i++ {
+			d := draws[bi][i]
 			devCfg := reflector.DefaultConfig(geom.V(2.5, 5), 270)
 			devCfg.BaseIsolationDB = 42 // isolation regime where the knee binds
 			devCfg.MinLeakageDB = 25
-			devCfg.Seed = rng.Int63n(1 << 30)
+			devCfg.Seed = d.devSeed
 			dev, err := reflector.New(devCfg)
 			if err != nil {
 				panic(err)
 			}
-			beam := 270 + rng.Float64()*60 - 30
-			dev.SetBothBeams(beam)
+			dev.SetBothBeams(d.beamDeg)
 			res := gainctl.Optimize(dev, -60, cfg)
 			gains = append(gains, res.GainDB)
 			margins = append(margins, res.MarginDB)
 			// Beam drift before the next optimization pass.
-			dev.SetTXBeam(beam + rng.Float64()*10 - 5)
+			dev.SetTXBeam(d.beamDeg + d.drift)
 			if !dev.Stable() {
 				unstable++
 			}
 		}
-		rows = append(rows, GainBackoffRow{
-			BackoffSteps: backoff,
+		return GainBackoffRow{
+			BackoffSteps: backoffs[bi],
 			MeanGainDB:   stats.Mean(gains),
 			MeanMarginDB: stats.Mean(margins),
 			UnstableFrac: float64(unstable) / trials,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // PhaseBitsRow is one point of the phase-shifter resolution ablation.
@@ -83,8 +120,9 @@ type PhaseBitsRow struct {
 // arrays need: coarse quantization costs steered gain and alignment
 // accuracy.
 func AblationPhaseBits(seed int64) []PhaseBitsRow {
-	var rows []PhaseBitsRow
-	for _, bits := range []int{1, 2, 3, 4, 6, 8} {
+	allBits := []int{1, 2, 3, 4, 6, 8}
+	return ablate(len(allBits), func(i int) PhaseBitsRow {
+		bits := allBits[i]
 		aCfg := antenna.DefaultConfig(0)
 		aCfg.PhaseShifterBits = bits
 		arr, err := antenna.New(aCfg)
@@ -120,13 +158,12 @@ func AblationPhaseBits(seed int64) []PhaseBitsRow {
 			}
 			errs = append(errs, align.ErrorDeg(r.ReflBeamDeg, align.GroundTruthDeg(dev, w.AP)))
 		}
-		rows = append(rows, PhaseBitsRow{
+		return PhaseBitsRow{
 			Bits:           bits,
 			SteeredGainDBi: gain,
 			AlignErrDeg:    stats.Mean(errs),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // SweepStepRow is one point of the alignment-granularity ablation.
@@ -140,8 +177,9 @@ type SweepStepRow struct {
 // AblationSweepStep trades alignment time against accuracy by varying
 // the hierarchical sweep's coarse step.
 func AblationSweepStep(seed int64) []SweepStepRow {
-	var rows []SweepStepRow
-	for _, step := range []float64{3, 5, 7, 10, 15} {
+	steps := []float64{3, 5, 7, 10, 15}
+	return ablate(len(steps), func(i int) SweepStepRow {
+		step := steps[i]
 		var errs []float64
 		var total time.Duration
 		meas := 0
@@ -171,14 +209,13 @@ func AblationSweepStep(seed int64) []SweepStepRow {
 			total += r.TotalTime()
 			meas += r.Measurements
 		}
-		rows = append(rows, SweepStepRow{
+		return SweepStepRow{
 			CoarseStepDeg: step,
 			MeanErrDeg:    stats.Mean(errs),
 			MeanTime:      total / runs,
 			Measurements:  meas / runs,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // TrackingPeriodRow is one point of the pose-tracking cadence ablation.
@@ -191,27 +228,29 @@ type TrackingPeriodRow struct {
 // the §6 tracking proposal: how often must the link manager act on VR
 // pose for the stream to survive player motion?
 func AblationTrackingPeriod(seed int64) []TrackingPeriodRow {
-	var rows []TrackingPeriodRow
-	for _, period := range []time.Duration{
+	periods := []time.Duration{
 		20 * time.Millisecond,
 		50 * time.Millisecond,
 		100 * time.Millisecond,
 		250 * time.Millisecond,
 		500 * time.Millisecond,
-	} {
+	}
+	return ablate(len(periods), func(i int) TrackingPeriodRow {
 		cfg := SessionConfig{
 			Duration:     10 * time.Second,
 			Seed:         seed,
-			ReEvalPeriod: period,
-		}
+			ReEvalPeriod: periods[i],
+		}.withDefaults()
 		trace, err := sessionTrace(cfg)
 		if err != nil {
 			panic(err) // config is structurally valid
 		}
-		rep := runVariant(cfg, trace, VariantMoVRTracking)
-		rows = append(rows, TrackingPeriodRow{Period: period, GlitchFrac: rep.GlitchFrac})
-	}
-	return rows
+		out, err := runVariant(cfg, trace, VariantMoVRTracking)
+		if err != nil {
+			panic(err) // config is structurally valid
+		}
+		return TrackingPeriodRow{Period: periods[i], GlitchFrac: out.Report.GlitchFrac}
+	})
 }
 
 // RenderTrackingAblation prints the cadence table.

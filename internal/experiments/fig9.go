@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 
 	"github.com/movr-sim/movr/internal/baseline"
 	"github.com/movr-sim/movr/internal/control"
+	"github.com/movr-sim/movr/internal/fleet/pool"
 	"github.com/movr-sim/movr/internal/gainctl"
 	"github.com/movr-sim/movr/internal/geom"
 	"github.com/movr-sim/movr/internal/linkmgr"
@@ -25,6 +27,10 @@ type Fig9Config struct {
 
 	// Seed fixes placements.
 	Seed int64
+
+	// Workers bounds the trial parallelism (<= 0 means GOMAXPROCS).
+	// Results are identical for every worker count.
+	Workers int
 }
 
 // DefaultFig9Config mirrors the paper.
@@ -59,24 +65,32 @@ func Fig9(cfg Fig9Config) Fig9Result {
 	if cfg.NLOSStepDeg <= 0 {
 		cfg.NLOSStepDeg = 2
 	}
+	// Placements keep a play-area distance from the AP (standing on top
+	// of the base station is not a VR pose); the paper's own §5.2 notes
+	// the close-to-AP corner cases separately. The rejection sampling is
+	// drawn serially from one stream against a clean world — the exact
+	// historical draw sequence — so parallelizing the trials below
+	// changes nothing about which poses are measured.
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	res := Fig9Result{}
+	placeWorld := NewWorld(1)
+	places := make([]geom.Vec, cfg.Runs)
+	for run := range places {
+		places[run], _ = placeWorld.RandomHeadsetPlacement(rng, 1.5)
+	}
 
-	for run := 0; run < cfg.Runs; run++ {
+	// Each trial builds its own world and writes into its own slot, so
+	// the trials fan out across the fleet worker pool deterministically.
+	type trial struct{ nlosImp, movrImp float64 }
+	trials, err := pool.Map(context.Background(), cfg.Runs, cfg.Workers, func(_ context.Context, run int) (trial, error) {
 		w := NewWorld(1)
 		// Reflector in the corner opposite the AP (paper's placement).
 		dev := reflector.Default(geom.V(4.6, 4.6), 225)
 		link := control.NewLink(reflector.NewController(dev), control.DefaultRTT, 0, cfg.Seed+int64(run))
 
-		// Placements keep a play-area distance from the AP (standing on
-		// top of the base station is not a VR pose); the paper's own
-		// §5.2 notes the close-to-AP corner cases separately.
-		pos, _ := w.RandomHeadsetPlacement(rng, 1.5)
-		hs := w.NewHeadsetAt(pos, 0)
+		hs := w.NewHeadsetAt(places[run], 0)
 
 		// Scenario LOS: clear room, aligned.
 		losSNR := w.AlignedLOSSNR(hs)
-		res.LOSImp = append(res.LOSImp, 0)
 
 		// Blockage for the other two scenarios: the player's hand in
 		// front of the headset toward the AP.
@@ -85,7 +99,6 @@ func Fig9(cfg Fig9Config) Fig9Result {
 
 		// Scenario Opt-NLOS: sweep everything, direct path excluded.
 		nlos := baseline.OptNLOS(w.Tracer, &w.AP.Radio, &hs.Radio, cfg.NLOSStepDeg)
-		res.OptNLOSImp = append(res.OptNLOSImp, nlos.SNRdB-losSNR)
 
 		// Scenario MoVR: same blockage, reflector path. The headset
 		// turns toward the reflector (the measurement posture; in play
@@ -102,7 +115,19 @@ func Fig9(cfg Fig9Config) Fig9Result {
 			// Unusable reflector path: record a deep negative.
 			movrSNR = losSNR - 40
 		}
-		res.MoVRImp = append(res.MoVRImp, movrSNR-losSNR)
+		return trial{nlosImp: nlos.SNRdB - losSNR, movrImp: movrSNR - losSNR}, nil
+	})
+	if err != nil {
+		panic(err) // trials return no errors; only a worker panic lands here
+	}
+
+	res := Fig9Result{}
+	for range trials {
+		res.LOSImp = append(res.LOSImp, 0)
+	}
+	for _, tr := range trials {
+		res.OptNLOSImp = append(res.OptNLOSImp, tr.nlosImp)
+		res.MoVRImp = append(res.MoVRImp, tr.movrImp)
 	}
 
 	res.OptNLOSSummary = stats.Summarize(res.OptNLOSImp)

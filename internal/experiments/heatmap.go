@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"github.com/movr-sim/movr/internal/control"
+	"github.com/movr-sim/movr/internal/fleet/pool"
 	"github.com/movr-sim/movr/internal/geom"
 	"github.com/movr-sim/movr/internal/linkmgr"
 	"github.com/movr-sim/movr/internal/phy"
@@ -23,6 +25,11 @@ type HeatmapConfig struct {
 
 	// WithReflector toggles the MoVR reflector install.
 	WithReflector bool
+
+	// Workers bounds the grid-cell parallelism (<= 0 means GOMAXPROCS).
+	// Every worker count produces identical results: cells are
+	// independent and land in fixed grid slots.
+	Workers int
 }
 
 // DefaultHeatmapConfig probes a 0.5 m grid over 8 orientations.
@@ -66,34 +73,50 @@ func Heatmap(cfg HeatmapConfig) HeatmapResult {
 	for y := 0.5; y <= 4.5+1e-9; y += cfg.GridStep {
 		res.Ys = append(res.Ys, y)
 	}
-	total := 0.0
-	for _, y := range res.Ys {
-		row := make([]float64, 0, len(res.Xs))
-		for _, x := range res.Xs {
-			covered := 0
-			for _, yaw := range cfg.Yaws {
-				w := NewWorld(1)
-				hs := w.NewHeadsetAt(geom.V(x, y), yaw)
-				mgr := linkmgr.New(w.Tracer, w.AP, hs)
-				if cfg.WithReflector {
-					dev := reflector.Default(geom.V(4.6, 4.6), 225)
-					link := control.NewLink(reflector.NewController(dev), control.DefaultRTT, 0, 1)
-					idx := mgr.AddReflector(dev, link)
-					if err := mgr.AlignFromGeometry(idx); err != nil {
-						panic(err) // index valid by construction
-					}
-				}
-				if st := mgr.Best(); req.MetByRate(st.RateBps) {
-					covered++
+	res.Cover = make([][]float64, len(res.Ys))
+	for iy := range res.Cover {
+		res.Cover[iy] = make([]float64, len(res.Xs))
+	}
+
+	// Cells are independent — each builds its own worlds — so they fan
+	// out across the fleet worker pool and write into their own grid
+	// slot; aggregation below is order-independent arithmetic over the
+	// fixed grid, so results are identical for any worker count.
+	cells := len(res.Xs) * len(res.Ys)
+	err := pool.ForEach(context.Background(), cells, cfg.Workers, func(_ context.Context, cell int) error {
+		iy, ix := cell/len(res.Xs), cell%len(res.Xs)
+		x, y := res.Xs[ix], res.Ys[iy]
+		covered := 0
+		for _, yaw := range cfg.Yaws {
+			w := NewWorld(1)
+			hs := w.NewHeadsetAt(geom.V(x, y), yaw)
+			mgr := linkmgr.New(w.Tracer, w.AP, hs)
+			if cfg.WithReflector {
+				dev := reflector.Default(geom.V(4.6, 4.6), 225)
+				link := control.NewLink(reflector.NewController(dev), control.DefaultRTT, 0, 1)
+				idx := mgr.AddReflector(dev, link)
+				if err := mgr.AlignFromGeometry(idx); err != nil {
+					panic(err) // index valid by construction
 				}
 			}
-			frac := float64(covered) / float64(len(cfg.Yaws))
-			row = append(row, frac)
+			if st := mgr.Best(); req.MetByRate(st.RateBps) {
+				covered++
+			}
+		}
+		res.Cover[iy][ix] = float64(covered) / float64(len(cfg.Yaws))
+		return nil
+	})
+	if err != nil {
+		panic(err) // cells return no errors; only a worker panic lands here
+	}
+
+	total := 0.0
+	for _, row := range res.Cover {
+		for _, frac := range row {
 			total += frac
 		}
-		res.Cover = append(res.Cover, row)
 	}
-	res.MeanCoverage = total / float64(len(res.Xs)*len(res.Ys))
+	res.MeanCoverage = total / float64(cells)
 	return res
 }
 

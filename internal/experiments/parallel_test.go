@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/room"
+)
+
+// TestHeatmapParallelDeterminism: the coverage map is identical for any
+// worker count (and race-clean under `go test -race`).
+func TestHeatmapParallelDeterminism(t *testing.T) {
+	base := HeatmapConfig{GridStep: 1.0, Yaws: []float64{0, 120, 240}, WithReflector: true}
+
+	serial := base
+	serial.Workers = 1
+	parallel := base
+	parallel.Workers = 8
+
+	a := Heatmap(serial)
+	b := Heatmap(parallel)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("heatmap differs between 1 and 8 workers")
+	}
+}
+
+// TestFig9ParallelDeterminism: trials measure the same poses and produce
+// the same CDFs for any worker count.
+func TestFig9ParallelDeterminism(t *testing.T) {
+	base := Fig9Config{Runs: 6, NLOSStepDeg: 10, Seed: 2}
+
+	serial := base
+	serial.Workers = 1
+	parallel := base
+	parallel.Workers = 8
+
+	a := Fig9(serial)
+	b := Fig9(parallel)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Fig 9 differs between 1 and 8 workers")
+	}
+}
+
+// TestRunSessionVariant exercises the fleet-facing session entry point:
+// custom rooms, mounts and blockers work; impossible rooms error instead
+// of panicking; reflector variants hand off.
+func TestRunSessionVariant(t *testing.T) {
+	cfg := SessionConfig{
+		Duration:     2 * time.Second,
+		Seed:         4,
+		ReEvalPeriod: 100 * time.Millisecond,
+		RoomW:        6,
+		RoomD:        4,
+		Mounts:       []Mount{{Pos: geom.V(5.6, 3.6), FacingDeg: 225}},
+		Blockers:     []room.Obstacle{room.Body(geom.V(3, 2))},
+	}
+	out, err := RunSessionVariant(cfg, VariantMoVRTracking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Report.Frames == 0 {
+		t.Fatal("no frames streamed")
+	}
+	if out.Handoffs < 0 {
+		t.Fatalf("handoffs = %d", out.Handoffs)
+	}
+
+	// Direct-only never has a reflector to hand off to.
+	direct, err := RunSessionVariant(cfg, VariantDirectOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Handoffs != 0 {
+		t.Errorf("direct-only handoffs = %d, want 0", direct.Handoffs)
+	}
+
+	// A room too small to walk in is an error, not a panic.
+	bad := cfg
+	bad.RoomW, bad.RoomD = 0.9, 0.9
+	if _, err := RunSessionVariant(bad, VariantMoVRTracking); err == nil {
+		t.Error("sub-metre room should fail")
+	}
+}
+
+// TestSessionExplicitFootprint: an explicit footprint — even 5 × 5 —
+// builds a bare drywall room, while the zero-value default keeps the
+// furnished office testbed.
+func TestSessionExplicitFootprint(t *testing.T) {
+	office, err := sessionWorld(SessionConfig{}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := sessionWorld(SessionConfig{RoomW: 5, RoomD: 5}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(bare.Room.Walls()); got != 4 {
+		t.Errorf("explicit 5x5 room has %d walls, want 4 bare perimeter walls", got)
+	}
+	if got := len(office.Room.Walls()); got <= 4 {
+		t.Errorf("default room has %d walls, want the furnished office", got)
+	}
+}
+
+// TestSessionVariantSubset: cfg.Variants limits which variants run, and
+// the handoff map covers exactly those.
+func TestSessionVariantSubset(t *testing.T) {
+	cfg := SessionConfig{
+		Duration:     2 * time.Second,
+		Seed:         6,
+		ReEvalPeriod: 100 * time.Millisecond,
+		Variants:     []SessionVariant{VariantMoVRTracking},
+	}
+	r := Session(cfg)
+	if len(r.Reports) != 1 || len(r.Handoffs) != 1 {
+		t.Fatalf("reports=%d handoffs=%d, want 1 each", len(r.Reports), len(r.Handoffs))
+	}
+	if _, ok := r.Reports[VariantMoVRTracking]; !ok {
+		t.Error("tracking variant missing")
+	}
+	// Render lists only the variants that ran — no phantom zero rows.
+	out := r.Render()
+	if strings.Contains(out, string(VariantDirectOnly)) {
+		t.Error("render shows a variant that never ran")
+	}
+	if !strings.Contains(out, string(VariantMoVRTracking)) {
+		t.Error("render missing the variant that ran")
+	}
+}

@@ -16,10 +16,33 @@ import (
 	"github.com/movr-sim/movr/internal/vr"
 )
 
+// Mount describes one reflector installation point: a wall/corner
+// position and the direction the device faces into the room.
+type Mount struct {
+	Pos       geom.Vec
+	FacingDeg float64
+}
+
+// DefaultMounts returns the standard two-reflector install for a room of
+// the given footprint: one in the corner opposite the AP and one mid-way
+// along the west wall, so some reflector is in the headset's field for
+// most head orientations ("One or more MoVR reflectors can be installed
+// in a room", §4). For the 5 m × 5 m office this reproduces the
+// historical fixed install.
+func DefaultMounts(roomW, roomD float64) []Mount {
+	return []Mount{
+		{Pos: geom.V(roomW-0.4, roomD-0.4), FacingDeg: 225}, // far corner
+		{Pos: geom.V(0, roomD/2), FacingDeg: 0},             // west wall
+	}
+}
+
 // SessionConfig parameterizes the end-to-end VR streaming session — the
 // paper's §6 future work ("designing a fast beam-tracking algorithm that
 // leverages [tracking] information and evaluating the end-to-end
-// performance of this system").
+// performance of this system"). The zero value of every optional field
+// reproduces the historical single-room setup, so existing callers are
+// unaffected; the fleet engine uses the extra fields to simulate diverse
+// deployments (arcades, homes, cluttered rooms).
 type SessionConfig struct {
 	// Duration is the play-session length.
 	Duration time.Duration
@@ -30,6 +53,44 @@ type SessionConfig struct {
 	// ReEvalPeriod is how often the link controller re-evaluates paths
 	// from pose (tracking mode).
 	ReEvalPeriod time.Duration
+
+	// RoomW and RoomD override the room footprint in metres. Zero keeps
+	// the paper's 5 m × 5 m office testbed (with its furniture walls);
+	// an explicit footprint — even 5 × 5 — builds a bare drywall room.
+	RoomW, RoomD float64
+
+	// Mounts overrides the reflector installation. Nil keeps the
+	// default two-reflector install for the room size; an explicit
+	// empty slice installs no reflectors.
+	Mounts []Mount
+
+	// Blockers are extra static obstacles standing in the room for the
+	// whole session — furniture, bystanders, other players.
+	Blockers []room.Obstacle
+
+	// Variants selects which system variants Session runs. Nil runs all
+	// four.
+	Variants []SessionVariant
+
+	// sizedRoom records (via withDefaults) that the footprint was set
+	// explicitly rather than defaulted, so an explicit 5 × 5 room is
+	// still built as bare drywall, not the furnished office.
+	sizedRoom bool
+}
+
+// withDefaults fills the zero-valued knobs.
+func (cfg SessionConfig) withDefaults() SessionConfig {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.ReEvalPeriod <= 0 {
+		cfg.ReEvalPeriod = 50 * time.Millisecond
+	}
+	cfg.sizedRoom = cfg.RoomW > 0 && cfg.RoomD > 0
+	if !cfg.sizedRoom {
+		cfg.RoomW, cfg.RoomD = 5, 5
+	}
+	return cfg
 }
 
 // DefaultSessionConfig returns a 30 s session with 50 ms tracking
@@ -68,6 +129,32 @@ type SessionResult struct {
 	Config  SessionConfig
 	Trace   vr.Stats
 	Reports map[SessionVariant]stream.Report
+
+	// Handoffs counts serving-path switches per variant (direct ↔
+	// reflector or reflector ↔ reflector); outage transitions are not
+	// handoffs.
+	Handoffs map[SessionVariant]int
+}
+
+// VariantOutcome is the result of running one system variant of a
+// session: the streaming report plus the controller's handoff count.
+type VariantOutcome struct {
+	Report   stream.Report
+	Handoffs int
+}
+
+// RunSessionVariant runs a single system variant of the configured
+// session end to end. Unlike Session it reports configuration problems
+// (an unstreamable room, a trace that cannot be generated) as errors
+// instead of panicking, which lets the fleet engine propagate them from
+// worker goroutines.
+func RunSessionVariant(cfg SessionConfig, variant SessionVariant) (VariantOutcome, error) {
+	cfg = cfg.withDefaults()
+	trace, err := sessionTrace(cfg)
+	if err != nil {
+		return VariantOutcome{}, err
+	}
+	return runVariant(cfg, trace, variant)
 }
 
 // Session runs the same seeded motion trace (walking, head rotation,
@@ -84,56 +171,71 @@ type SessionResult struct {
 //   - MoVR with pose-driven tracking (the paper's §6 proposal): the
 //     link manager re-steers every ReEvalPeriod from VR tracking data,
 //     with no sweeps in the loop.
+//
+// Session panics on an unstreamable configuration (e.g. a room too
+// small for motion); callers wiring user-supplied geometry should use
+// RunSessionVariant, which reports such problems as errors.
 func Session(cfg SessionConfig) SessionResult {
-	if cfg.Duration <= 0 {
-		cfg.Duration = 30 * time.Second
-	}
-	if cfg.ReEvalPeriod <= 0 {
-		cfg.ReEvalPeriod = 50 * time.Millisecond
-	}
+	cfg = cfg.withDefaults()
 	trace, err := sessionTrace(cfg)
 	if err != nil {
-		panic(err) // config is structurally valid
+		panic(err) // unstreamable config; see doc comment
 	}
 
 	res := SessionResult{
-		Config:  cfg,
-		Trace:   vr.Summarize(trace),
-		Reports: map[SessionVariant]stream.Report{},
+		Config:   cfg,
+		Trace:    vr.Summarize(trace),
+		Reports:  map[SessionVariant]stream.Report{},
+		Handoffs: map[SessionVariant]int{},
 	}
-	for _, variant := range SessionVariants {
-		res.Reports[variant] = runVariant(cfg, trace, variant)
+	variants := cfg.Variants
+	if variants == nil {
+		variants = SessionVariants
+	}
+	for _, variant := range variants {
+		out, err := runVariant(cfg, trace, variant)
+		if err != nil {
+			panic(err) // unstreamable config; see doc comment
+		}
+		res.Reports[variant] = out.Report
+		res.Handoffs[variant] = out.Handoffs
 	}
 	return res
 }
 
 // sessionTrace builds the seeded motion trace for a session config.
 func sessionTrace(cfg SessionConfig) (vr.Trace, error) {
-	trCfg := vr.DefaultTraceConfig(5, 5, cfg.Seed)
+	trCfg := vr.DefaultTraceConfig(cfg.RoomW, cfg.RoomD, cfg.Seed)
 	trCfg.Duration = cfg.Duration
 	return vr.Generate(trCfg)
 }
 
+// sessionWorld builds the session's world: the stock office testbed for
+// the default footprint, a bare drywall room otherwise.
+func sessionWorld(cfg SessionConfig) (*World, error) {
+	if !cfg.sizedRoom {
+		return NewWorld(1), nil
+	}
+	return NewSizedWorld(cfg.RoomW, cfg.RoomD, 1)
+}
+
 // runVariant wires a fresh world per variant and streams over it.
-func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) stream.Report {
-	w := NewWorld(1)
+func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) (VariantOutcome, error) {
+	w, err := sessionWorld(cfg)
+	if err != nil {
+		return VariantOutcome{}, err
+	}
 	start := trace.At(0)
 	hs := w.NewHeadsetAt(start.Pos, start.YawDeg)
 	mgr := linkmgr.New(w.Tracer, w.AP, hs)
 
 	if variant != VariantDirectOnly {
-		// A realistic install: two reflectors on different walls, so
-		// some reflector is in the headset's field for most head
-		// orientations ("One or more MoVR reflectors can be installed
-		// in a room", §4).
-		for _, mount := range []struct {
-			pos geom.Vec
-			deg float64
-		}{
-			{geom.V(4.6, 4.6), 225}, // far corner
-			{geom.V(0, 2.5), 0},     // west wall
-		} {
-			dev := reflector.Default(mount.pos, mount.deg)
+		mounts := cfg.Mounts
+		if mounts == nil {
+			mounts = DefaultMounts(cfg.RoomW, cfg.RoomD)
+		}
+		for _, mount := range mounts {
+			dev := reflector.Default(mount.Pos, mount.FacingDeg)
 			link := control.NewLink(reflector.NewController(dev), control.DefaultRTT, 0, cfg.Seed)
 			idx := mgr.AddReflector(dev, link)
 			if err := mgr.AlignFromGeometry(idx); err != nil {
@@ -143,6 +245,12 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) strea
 			// variant never moves it again.
 			mgr.PrimeReflector(idx)
 		}
+	}
+
+	// Static scenery blockers (furniture, bystanders, other players)
+	// stand for the whole session.
+	for _, b := range cfg.Blockers {
+		w.Room.AddObstacle(b)
 	}
 
 	// The hand blocker follows the trace; one obstacle slot is reused.
@@ -156,6 +264,28 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) strea
 	failStreak := 0
 	realignUntil := time.Duration(-1)
 	realignPending := false
+
+	// Handoff accounting: a handoff is a change of the serving path
+	// between two usable configurations (direct ↔ reflector-i or
+	// reflector-i ↔ reflector-j). Dropping to or recovering from
+	// PathNone is an outage, not a handoff.
+	handoffs := 0
+	havePath := false
+	lastChoice := linkmgr.PathNone
+	lastRefl := -1
+	notePath := func(st linkmgr.LinkState) {
+		if st.Choice == linkmgr.PathNone {
+			return
+		}
+		switched := st.Choice != lastChoice ||
+			(st.Choice == linkmgr.PathReflector && st.ReflectorIdx != lastRefl)
+		if havePath && switched {
+			handoffs++
+		}
+		havePath = true
+		lastChoice = st.Choice
+		lastRefl = st.ReflectorIdx
+	}
 
 	// World tick: the physical geometry (pose, raised hand) evolves at
 	// the trace rate regardless of how often the controller acts. The
@@ -209,6 +339,7 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) strea
 				failStreak = 0
 			}
 		}
+		notePath(st)
 		currentRate = st.RateBps
 	}
 
@@ -222,10 +353,11 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) strea
 		control(trace.At(engine.Now()))
 	})
 
-	return stream.Run(engine, stream.Config{
+	rep := stream.Run(engine, stream.Config{
 		Display:  vr.HTCVive(),
 		Duration: cfg.Duration,
 	}, func(now time.Duration) float64 { return currentRate })
+	return VariantOutcome{Report: rep, Handoffs: handoffs}, nil
 }
 
 // Render prints the session comparison.
@@ -236,7 +368,12 @@ func (r SessionResult) Render() string {
 		r.Trace.DistanceM, 100*r.Trace.HandUpFrac, r.Trace.YawRangeDeg)
 	var rows [][]string
 	for _, v := range SessionVariants {
-		rep := r.Reports[v]
+		// A Variants subset leaves some variants unrun; skip them
+		// rather than rendering phantom all-zero rows.
+		rep, ok := r.Reports[v]
+		if !ok {
+			continue
+		}
 		rows = append(rows, []string{
 			string(v),
 			fmt.Sprintf("%d", rep.Frames),

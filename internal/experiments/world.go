@@ -35,6 +35,10 @@ func NewWorld(maxBounces int) *World {
 	return NewWorldWithBudget(maxBounces, channel.DefaultBudget())
 }
 
+// APPos is the AP's standard position in every generated world: tucked
+// into the south-west corner.
+var APPos = geom.V(0.4, 0.4)
+
 // NewWorldWithBudget builds the testbed with an explicit link budget —
 // e.g. channel.Budget60GHz() to study the 802.11ad band the paper's
 // rate tables come from.
@@ -44,8 +48,26 @@ func NewWorldWithBudget(maxBounces int, b channel.Budget) *World {
 		Room:   rm,
 		Budget: b,
 		Tracer: channel.NewTracer(rm, b.FreqHz, maxBounces),
-		AP:     radio.NewAP(geom.V(0.4, 0.4), antenna.Default(45), b),
+		AP:     radio.NewAP(APPos, antenna.Default(45), b),
 	}
+}
+
+// NewSizedWorld builds a bare rectangular drywall room of the given
+// footprint with the AP in the south-west corner — the generic testbed
+// the fleet scenarios (arcades, homes) deploy into when the paper's
+// office does not fit.
+func NewSizedWorld(widthM, depthM float64, maxBounces int) (*World, error) {
+	rm, err := room.New(widthM, depthM, room.Drywall)
+	if err != nil {
+		return nil, err
+	}
+	b := channel.DefaultBudget()
+	return &World{
+		Room:   rm,
+		Budget: b,
+		Tracer: channel.NewTracer(rm, b.FreqHz, maxBounces),
+		AP:     radio.NewAP(APPos, antenna.Default(45), b),
+	}, nil
 }
 
 // NewHeadsetAt places a headset radio at pos facing yawDeg.

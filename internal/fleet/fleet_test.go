@@ -1,0 +1,281 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/movr-sim/movr/internal/experiments"
+)
+
+// shortScenario is a small mixed fleet that keeps unit tests quick.
+func shortScenario(n int, seed int64) []Spec {
+	return Mixed(n, ScenarioConfig{
+		Duration:     1 * time.Second,
+		ReEvalPeriod: 100 * time.Millisecond,
+		Seed:         seed,
+	})
+}
+
+// TestFleetDeterministicAcrossWorkers is the engine's core guarantee:
+// the same specs produce byte-identical results — outcomes, aggregates,
+// and rendered report — no matter how many workers run them.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	specs := shortScenario(9, 7)
+	serial, err := Run(context.Background(), specs, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := Run(context.Background(), specs, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d: results differ from serial run", workers)
+		}
+		if serial.Render("fleet") != par.Render("fleet") {
+			t.Fatalf("workers=%d: rendered reports differ", workers)
+		}
+	}
+}
+
+// TestFleet64Sessions is the acceptance-scale determinism check: 64
+// sessions on 8 workers must aggregate identically to 1 worker.
+func TestFleet64Sessions(t *testing.T) {
+	n := 64
+	if testing.Short() {
+		n = 16
+	}
+	specs := Mixed(n, ScenarioConfig{
+		Duration:     500 * time.Millisecond,
+		ReEvalPeriod: 100 * time.Millisecond,
+		Seed:         42,
+	})
+	if len(specs) != n {
+		t.Fatalf("Mixed(%d) generated %d specs", n, len(specs))
+	}
+	serial, err := Run(context.Background(), specs, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), specs, Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Agg, par.Agg) {
+		t.Fatal("64-session aggregates differ between 1 and 8 workers")
+	}
+	if serial.Agg.Sessions != n || serial.Agg.Frames == 0 {
+		t.Fatalf("aggregate looks empty: %+v", serial.Agg)
+	}
+}
+
+// TestFleetParallelSpeedup checks the point of the worker pool: on a
+// multi-core box, 8 workers beat 1. Skipped where wall clock is not
+// meaningful (few cores, race-detector instrumentation), and retried
+// once so noisy-neighbor scheduling jitter cannot redden a build.
+func TestFleetParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if raceEnabled {
+		t.Skip("race detector skews wall-clock timing")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("only %d CPUs; speedup not measurable", runtime.NumCPU())
+	}
+	specs := shortScenario(16, 3)
+
+	measure := func(workers int) time.Duration {
+		t0 := time.Now()
+		if _, err := Run(context.Background(), specs, Config{Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+
+	for attempt := 0; ; attempt++ {
+		serial := measure(1)
+		parallel := measure(8)
+		if parallel < serial {
+			t.Logf("serial %v, 8 workers %v (%.1fx)", serial, parallel, float64(serial)/float64(parallel))
+			return
+		}
+		if attempt == 1 {
+			t.Fatalf("8 workers (%v) not faster than 1 worker (%v) after retry", parallel, serial)
+		}
+		t.Logf("attempt %d: 8 workers (%v) >= 1 worker (%v); retrying once", attempt, parallel, serial)
+	}
+}
+
+func TestFleetErrorPropagation(t *testing.T) {
+	specs := shortScenario(4, 1)
+	// An unstreamable room: too small for motion-trace generation.
+	bad := Spec{ID: "broken/0", Session: experiments.SessionConfig{
+		Duration: time.Second,
+		RoomW:    0.9,
+		RoomD:    0.9,
+	}}
+	specs = append(specs[:2:2], append([]Spec{bad}, specs[2:]...)...)
+
+	for _, workers := range []int{1, 4} {
+		res, err := Run(context.Background(), specs, Config{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: bad session should fail the run", workers)
+		}
+		if !strings.Contains(err.Error(), "broken/0") {
+			t.Errorf("workers=%d: error %q should name the failing session", workers, err)
+		}
+		if res.Sessions != nil {
+			t.Errorf("workers=%d: failed run should not return outcomes", workers)
+		}
+	}
+}
+
+func TestFleetCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, shortScenario(4, 1), Config{Workers: 2})
+	if err == nil {
+		t.Fatal("cancelled context should abort the run")
+	}
+}
+
+func TestFleetEmptySpecs(t *testing.T) {
+	if _, err := Run(context.Background(), nil, Config{}); err == nil {
+		t.Fatal("empty fleet should be an error")
+	}
+}
+
+func TestFleetAggregateSanity(t *testing.T) {
+	res, err := Run(context.Background(), shortScenario(6, 11), Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := res.Agg
+	if agg.Sessions != 6 || len(res.Sessions) != 6 {
+		t.Fatalf("sessions = %d/%d", agg.Sessions, len(res.Sessions))
+	}
+	frames, delivered, handoffs := 0, 0, 0
+	for _, o := range res.Sessions {
+		frames += o.Report.Frames
+		delivered += o.Report.Delivered
+		handoffs += o.Handoffs
+		if o.DeliveredFrac < 0 || o.DeliveredFrac > 1 {
+			t.Errorf("%s: delivered frac %v", o.ID, o.DeliveredFrac)
+		}
+		if o.Variant != experiments.VariantMoVRTracking {
+			t.Errorf("%s: variant %q, want default tracking", o.ID, o.Variant)
+		}
+	}
+	if agg.Frames != frames || agg.Delivered != delivered || agg.TotalHandoffs != handoffs {
+		t.Error("totals disagree with per-session outcomes")
+	}
+	q := agg.DeliveredFrac
+	if q.Min > q.P50 || q.P50 > q.Max || q.P95 > q.Max || q.P99 > q.Max {
+		t.Errorf("quantile ordering broken: %+v", q)
+	}
+	out := res.Render("mixed fleet")
+	for _, want := range []string{"6 sessions", "delivered rate", "p99", "handoffs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScenarioGeneratorsDeterministic(t *testing.T) {
+	cfg := ScenarioConfig{Seed: 5}
+	type gen struct {
+		name string
+		make func() []Spec
+	}
+	for _, g := range []gen{
+		{"arcade", func() []Spec { return Arcade(2, 3, cfg) }},
+		{"homes", func() []Spec { return Homes(5, cfg) }},
+		{"dense", func() []Spec { return DenseBlockers(4, 6, cfg) }},
+		{"mixed", func() []Spec { return Mixed(10, cfg) }},
+	} {
+		a, b := g.make(), g.make()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed generated different specs", g.name)
+		}
+		seen := map[int64]bool{}
+		for _, sp := range a {
+			if sp.ID == "" {
+				t.Errorf("%s: empty spec ID", g.name)
+			}
+			if seen[sp.Session.Seed] {
+				t.Errorf("%s: duplicate session seed %d", g.name, sp.Session.Seed)
+			}
+			seen[sp.Session.Seed] = true
+		}
+	}
+}
+
+func TestScenarioShapes(t *testing.T) {
+	cfg := ScenarioConfig{Seed: 9}
+
+	arcade := Arcade(2, 3, cfg)
+	if len(arcade) != 6 {
+		t.Fatalf("arcade specs = %d", len(arcade))
+	}
+	for _, sp := range arcade {
+		if sp.Session.RoomW != 8 || sp.Session.RoomD != 8 {
+			t.Errorf("%s: room %vx%v", sp.ID, sp.Session.RoomW, sp.Session.RoomD)
+		}
+		if len(sp.Session.Mounts) != 3 {
+			t.Errorf("%s: %d mounts, want 3", sp.ID, len(sp.Session.Mounts))
+		}
+		if len(sp.Session.Blockers) != 2 {
+			t.Errorf("%s: %d co-player blockers, want 2", sp.ID, len(sp.Session.Blockers))
+		}
+	}
+
+	homes := Homes(5, cfg)
+	if len(homes) != 5 {
+		t.Fatalf("home specs = %d", len(homes))
+	}
+	for _, sp := range homes {
+		if sp.Session.RoomW < 3.5 || sp.Session.RoomW > 6.5 ||
+			sp.Session.RoomD < 3.5 || sp.Session.RoomD > 6.5 {
+			t.Errorf("%s: room %vx%v outside home range", sp.ID, sp.Session.RoomW, sp.Session.RoomD)
+		}
+		if len(sp.Session.Mounts) != 1 {
+			t.Errorf("%s: %d mounts, want 1", sp.ID, len(sp.Session.Mounts))
+		}
+	}
+
+	dense := DenseBlockers(4, 6, cfg)
+	if len(dense) != 4 {
+		t.Fatalf("dense specs = %d", len(dense))
+	}
+	for _, sp := range dense {
+		if len(sp.Session.Blockers) != 6 {
+			t.Errorf("%s: %d blockers, want 6", sp.ID, len(sp.Session.Blockers))
+		}
+		if sp.Session.RoomW != 0 {
+			t.Errorf("%s: dense rooms should use the stock office", sp.ID)
+		}
+	}
+}
+
+func BenchmarkFleetRun(b *testing.B) {
+	specs := Mixed(8, ScenarioConfig{
+		Duration:     500 * time.Millisecond,
+		ReEvalPeriod: 100 * time.Millisecond,
+		Seed:         1,
+	})
+	for _, workers := range []int{1, 8} {
+		b.Run(map[int]string{1: "workers=1", 8: "workers=8"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(context.Background(), specs, Config{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,121 @@
+// Package pool is the bounded worker pool under the fleet engine. It
+// runs n independent work items on at most w goroutines, propagates the
+// first error (cancelling the remaining items), converts worker panics
+// into errors, and — crucially for the simulator — keeps results in item
+// order so that downstream aggregation is byte-identical regardless of
+// the worker count or scheduling.
+//
+// The experiment sweeps (heatmap cells, Fig 9 trials, ablation points)
+// and the multi-session fleet engine all fan out through this package.
+package pool
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values below 1 become
+// runtime.GOMAXPROCS(0), and the count never exceeds n (no idle
+// goroutines are spawned).
+func Workers(requested, n int) int {
+	w := requested
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 means GOMAXPROCS). Items are claimed in index
+// order. The first error cancels the shared context and is returned;
+// items not yet claimed when the error occurs are skipped. A panic in fn
+// is recovered and reported as an error rather than crashing the
+// process. With workers == 1 execution is strictly sequential in index
+// order.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers, n)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				// The original stack dies with this recover; fold it
+				// into the error so the crash site stays debuggable.
+				fail(fmt.Errorf("pool: item %d panicked: %v\n%s", i, r, debug.Stack()))
+			}
+		}()
+		if err := fn(ctx, i); err != nil {
+			fail(fmt.Errorf("pool: item %d: %w", i, err))
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Map runs fn over [0, n) through ForEach and returns the results in
+// index order — the slot for item i holds fn's result for i, whatever
+// worker computed it. On error the partial results are discarded.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

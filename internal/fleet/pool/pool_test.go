@@ -1,0 +1,171 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEverything(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0, 100} {
+		var ran atomic.Int64
+		err := ForEach(context.Background(), 50, workers, func(ctx context.Context, i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ran.Load() != 50 {
+			t.Fatalf("workers=%d: ran %d of 50", workers, ran.Load())
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	err := ForEach(context.Background(), 40, workers, func(ctx context.Context, i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestForEachPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	err := ForEach(context.Background(), 10, 1, func(ctx context.Context, i int) error {
+		ran = append(ran, i)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if !strings.Contains(err.Error(), "item 3") {
+		t.Errorf("error %q should name the failing item", err)
+	}
+	// Sequential single worker: nothing after the failing item runs.
+	if len(ran) != 4 {
+		t.Errorf("ran %v; items after the failure should be skipped", ran)
+	}
+}
+
+func TestForEachErrorCancelsContext(t *testing.T) {
+	boom := errors.New("boom")
+	otherStarted := make(chan struct{})
+	var once sync.Once
+	var sawCancel atomic.Bool
+	err := ForEach(context.Background(), 100, 4, func(ctx context.Context, i int) error {
+		if i == 0 {
+			// Fail only once a sibling item is in flight, so the
+			// cancellation has a live observer.
+			select {
+			case <-otherStarted:
+			case <-time.After(time.Second):
+			}
+			return boom
+		}
+		once.Do(func() { close(otherStarted) })
+		select {
+		case <-ctx.Done():
+			sawCancel.Store(true)
+		case <-time.After(time.Second):
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if !sawCancel.Load() {
+		t.Error("no in-flight item observed the cancelled context after an error")
+	}
+}
+
+func TestForEachHonorsExternalCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEach(ctx, 1000, 1, func(ctx context.Context, i int) error {
+		if i == 5 {
+			cancel()
+		}
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n > 10 {
+		t.Errorf("ran %d items after external cancel", n)
+	}
+}
+
+func TestForEachRecoversPanic(t *testing.T) {
+	err := ForEach(context.Background(), 8, 2, func(ctx context.Context, i int) error {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want panic converted to error", err)
+	}
+}
+
+func TestMapKeepsIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 7} {
+		out, err := Map(context.Background(), 64, workers, func(ctx context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapDiscardsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map(context.Background(), 4, 2, func(ctx context.Context, i int) (int, error) {
+		return i, boom
+	})
+	if err == nil || out != nil {
+		t.Fatalf("out=%v err=%v, want nil results and an error", out, err)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if w := Workers(0, 100); w < 1 {
+		t.Errorf("Workers(0,100) = %d", w)
+	}
+	if w := Workers(16, 4); w != 4 {
+		t.Errorf("Workers(16,4) = %d, want clamped to n", w)
+	}
+	if w := Workers(-3, 0); w != 1 {
+		t.Errorf("Workers(-3,0) = %d, want 1", w)
+	}
+}

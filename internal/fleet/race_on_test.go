@@ -1,0 +1,8 @@
+//go:build race
+
+package fleet
+
+// raceEnabled reports that this test binary runs under the race
+// detector, whose instrumentation overhead makes wall-clock speedup
+// assertions meaningless.
+const raceEnabled = true

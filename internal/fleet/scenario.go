@@ -1,0 +1,217 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/movr-sim/movr/internal/experiments"
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/room"
+)
+
+// ScenarioConfig tunes the generated sessions. Zero values give a 5 s
+// session at the paper's 50 ms tracking cadence.
+type ScenarioConfig struct {
+	// Duration is the per-session play length.
+	Duration time.Duration
+
+	// ReEvalPeriod is the tracking cadence.
+	ReEvalPeriod time.Duration
+
+	// Seed drives everything: room sizes, player stations, blocker
+	// placement, and every per-session motion seed. The same seed
+	// always generates the same spec set.
+	Seed int64
+}
+
+func (cfg ScenarioConfig) withDefaults() ScenarioConfig {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.ReEvalPeriod <= 0 {
+		cfg.ReEvalPeriod = 50 * time.Millisecond
+	}
+	return cfg
+}
+
+// session builds the common per-session config.
+func (cfg ScenarioConfig) session(seed int64) experiments.SessionConfig {
+	return experiments.SessionConfig{
+		Duration:     cfg.Duration,
+		Seed:         seed,
+		ReEvalPeriod: cfg.ReEvalPeriod,
+	}
+}
+
+// Arcade generates a VR-arcade deployment: `rooms` large 8 m × 8 m bays,
+// each with three wall-mounted reflectors and `headsetsPerRoom` players.
+// Every player is an independent session in the shared geometry, with
+// the other players' bodies standing as blockers at their stations — the
+// multi-user room VirtualNexus-style scenarios motivate.
+func Arcade(rooms, headsetsPerRoom int, cfg ScenarioConfig) []Spec {
+	if rooms <= 0 {
+		rooms = 1
+	}
+	if headsetsPerRoom <= 0 {
+		headsetsPerRoom = 4
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const w, d = 8, 8
+	// The standard install plus a third reflector on the south wall for
+	// the bay's extra span.
+	mounts := append(experiments.DefaultMounts(w, d),
+		experiments.Mount{Pos: geom.V(w/2, 0), FacingDeg: 90})
+
+	var specs []Spec
+	for r := 0; r < rooms; r++ {
+		stations := scatter(rng, headsetsPerRoom, 1.2, w-1.2, 1.2, d-1.2, 1.0)
+		seeds := make([]int64, headsetsPerRoom)
+		for h := range seeds {
+			seeds[h] = rng.Int63()
+		}
+		for h := 0; h < headsetsPerRoom; h++ {
+			sess := cfg.session(seeds[h])
+			sess.RoomW, sess.RoomD = w, d
+			sess.Mounts = mounts
+			for j, st := range stations {
+				if j != h {
+					sess.Blockers = append(sess.Blockers, room.Body(st))
+				}
+			}
+			specs = append(specs, Spec{
+				ID:      fmt.Sprintf("arcade/r%d/h%d", r, h),
+				Session: sess,
+			})
+		}
+	}
+	return specs
+}
+
+// ArcadeN generates four-player arcade bays sized for exactly n
+// sessions: enough rooms to hold them, truncated to n.
+func ArcadeN(n int, cfg ScenarioConfig) []Spec {
+	const perRoom = 4
+	specs := Arcade((n+perRoom-1)/perRoom, perRoom, cfg)
+	if len(specs) > n {
+		specs = specs[:n]
+	}
+	return specs
+}
+
+// Homes generates a consumer deployment: n homes, each a differently
+// sized bare room (3.5–6.5 m per side) with a single far-corner
+// reflector and one headset — the paper §1's living-room install,
+// multiplied across households.
+func Homes(n int, cfg ScenarioConfig) []Spec {
+	if n <= 0 {
+		n = 8
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	specs := make([]Spec, 0, n)
+	for i := 0; i < n; i++ {
+		w := 3.5 + rng.Float64()*3
+		d := 3.5 + rng.Float64()*3
+		sess := cfg.session(rng.Int63())
+		sess.RoomW, sess.RoomD = w, d
+		sess.Mounts = experiments.DefaultMounts(w, d)[:1] // far corner only
+		specs = append(specs, Spec{
+			ID:      fmt.Sprintf("home/%d", i),
+			Session: sess,
+		})
+	}
+	return specs
+}
+
+// DenseBlockers generates a stress deployment: n sessions in the paper's
+// office with the standard two-reflector install, but with `blockers`
+// extra standing obstacles — furniture and bystanders — cluttering the
+// room. This probes how much scenery the reflector geometry can route
+// around before coverage collapses.
+func DenseBlockers(n, blockers int, cfg ScenarioConfig) []Spec {
+	if n <= 0 {
+		n = 8
+	}
+	if blockers <= 0 {
+		blockers = 6
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	specs := make([]Spec, 0, n)
+	for i := 0; i < n; i++ {
+		sess := cfg.session(rng.Int63())
+		spots := scatter(rng, blockers, 0.8, 4.2, 0.8, 4.2, 0.6)
+		for j, p := range spots {
+			if j%2 == 0 {
+				sess.Blockers = append(sess.Blockers, room.Furniture(p, 0.2+rng.Float64()*0.15))
+			} else {
+				sess.Blockers = append(sess.Blockers, room.Body(p))
+			}
+		}
+		specs = append(specs, Spec{
+			ID:      fmt.Sprintf("dense/%d", i),
+			Session: sess,
+		})
+	}
+	return specs
+}
+
+// Mixed interleaves the three deployment kinds into roughly n sessions —
+// the default fleet workload of the movrsim CLI.
+func Mixed(n int, cfg ScenarioConfig) []Spec {
+	if n <= 0 {
+		n = 12
+	}
+	cfg = cfg.withDefaults()
+	third := n / 3
+	rest := n - 2*third
+
+	var specs []Spec
+	if third > 0 {
+		sub := cfg
+		sub.Seed = cfg.Seed + 0x9E3779B9
+		specs = append(specs, ArcadeN(third, sub)...)
+
+		sub.Seed = cfg.Seed + 2*0x9E3779B9
+		specs = append(specs, Homes(third, sub)...)
+	}
+	sub := cfg
+	sub.Seed = cfg.Seed + 3*0x9E3779B9
+	specs = append(specs, DenseBlockers(rest, 6, sub)...)
+	return specs
+}
+
+// scatter draws n points in the rectangle [x0,x1]×[y0,y1], each at least
+// minGap from the others and 1.5 m from the AP corner. The rejection
+// budget is bounded so pathological inputs still terminate: a crowded
+// rectangle relaxes the gap between points but never the AP keep-out
+// (standing on the base station is not a VR pose).
+func scatter(rng *rand.Rand, n int, x0, x1, y0, y1, minGap float64) []geom.Vec {
+	pts := make([]geom.Vec, 0, n)
+	for len(pts) < n {
+		var p geom.Vec
+		for attempt := 0; attempt < 4096; attempt++ {
+			p = geom.V(x0+rng.Float64()*(x1-x0), y0+rng.Float64()*(y1-y0))
+			if p.Dist(experiments.APPos) < 1.5 {
+				continue // never give up the keep-out
+			}
+			if attempt >= 64 {
+				break // crowded: give up on the inter-point gap
+			}
+			clear := true
+			for _, q := range pts {
+				if p.Dist(q) < minGap {
+					clear = false
+					break
+				}
+			}
+			if clear {
+				break
+			}
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}

@@ -38,6 +38,10 @@ type Report struct {
 	// in time.
 	LongestOutage time.Duration
 
+	// TotalOutage is the total time the display showed stale frames —
+	// the sum of every glitched frame interval.
+	TotalOutage time.Duration
+
 	// MeanLatency is the mean delivery latency of delivered frames.
 	MeanLatency time.Duration
 
@@ -116,6 +120,7 @@ func Run(engine *sim.Engine, cfg Config, rate RateFunc) Report {
 		})
 	}
 	engine.Run(cfg.Duration)
+	rep.TotalOutage = time.Duration(rep.Glitches) * interval
 
 	if len(latencies) > 0 {
 		var sum time.Duration

@@ -7,6 +7,7 @@ import (
 	"github.com/movr-sim/movr/internal/channel"
 	"github.com/movr-sim/movr/internal/control"
 	"github.com/movr-sim/movr/internal/experiments"
+	"github.com/movr-sim/movr/internal/fleet"
 	"github.com/movr-sim/movr/internal/gainctl"
 	"github.com/movr-sim/movr/internal/geom"
 	"github.com/movr-sim/movr/internal/linkmgr"
@@ -149,6 +150,40 @@ type (
 	LatencyResult = experiments.LatencyResult
 	SessionConfig = experiments.SessionConfig
 	SessionResult = experiments.SessionResult
+
+	// ReflectorMount is one reflector installation point for a session.
+	ReflectorMount = experiments.Mount
+
+	// SessionVariantOutcome is a single variant's streaming report and
+	// handoff count.
+	SessionVariantOutcome = experiments.VariantOutcome
+)
+
+// Fleet engine types: concurrent multi-session simulation across a
+// bounded worker pool with deterministic aggregation.
+type (
+	// FleetSpec describes one independent VR session in a fleet.
+	FleetSpec = fleet.Spec
+
+	// FleetConfig tunes a fleet run (worker count).
+	FleetConfig = fleet.Config
+
+	// FleetResult is a completed fleet run: per-session outcomes in
+	// spec order plus the aggregate statistics.
+	FleetResult = fleet.Result
+
+	// FleetAggregate is the fleet-level statistic set (delivered-rate
+	// percentiles, blockage-outage time, reflector-handoff counts).
+	FleetAggregate = fleet.Aggregate
+
+	// FleetSessionOutcome is one session's result within a fleet.
+	FleetSessionOutcome = fleet.SessionOutcome
+
+	// FleetQuantiles summarizes one per-session metric across a fleet.
+	FleetQuantiles = fleet.Quantiles
+
+	// FleetScenarioConfig tunes the fleet scenario generators.
+	FleetScenarioConfig = fleet.ScenarioConfig
 )
 
 // Construction helpers.
@@ -288,8 +323,17 @@ var (
 	// future-work evaluation).
 	RunSession = experiments.Session
 
+	// RunSessionVariant runs a single system variant of a session and
+	// reports frame delivery plus path handoffs; configuration problems
+	// are returned as errors (the fleet engine's entry point).
+	RunSessionVariant = experiments.RunSessionVariant
+
 	// DefaultSessionConfig returns a 30-second session.
 	DefaultSessionConfig = experiments.DefaultSessionConfig
+
+	// DefaultReflectorMounts returns the standard two-reflector install
+	// for a room footprint.
+	DefaultReflectorMounts = experiments.DefaultMounts
 
 	// RunAblationGainBackoff, RunAblationPhaseBits,
 	// RunAblationSweepStep and RunAblationTrackingPeriod quantify the
@@ -313,6 +357,26 @@ var (
 
 	// DefaultHeatmapConfig returns the standard coverage-map settings.
 	DefaultHeatmapConfig = experiments.DefaultHeatmapConfig
+)
+
+// Fleet engine: multi-session simulation at scale.
+var (
+	// RunFleet simulates every spec across a bounded worker pool and
+	// aggregates per-session reports into fleet statistics. The same
+	// specs produce byte-identical results for any worker count.
+	RunFleet = fleet.Run
+
+	// ArcadeFleet, HomesFleet, DenseBlockerFleet and MixedFleet
+	// generate deterministic multi-session deployments: many headsets
+	// per room, one headset per room across many rooms, cluttered-room
+	// stress, and an interleaved mix.
+	ArcadeFleet       = fleet.Arcade
+	HomesFleet        = fleet.Homes
+	DenseBlockerFleet = fleet.DenseBlockers
+	MixedFleet        = fleet.Mixed
+
+	// ArcadeFleetN sizes four-player arcade bays for exactly n sessions.
+	ArcadeFleetN = fleet.ArcadeN
 )
 
 // HeatmapConfig and HeatmapResult parameterize and report the coverage
