@@ -3,10 +3,13 @@
 
 GO ?= go
 
-.PHONY: build vet fmt-check test race bench ci
+.PHONY: build build-cmds vet fmt-check test race bench serve ci
 
 build:
 	$(GO) build ./...
+
+build-cmds:
+	$(GO) build ./cmd/...
 
 vet:
 	$(GO) vet ./...
@@ -28,4 +31,9 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build vet fmt-check test race bench
+# Start movrd, poll /healthz, submit a tiny fleet job, and assert the
+# resubmission is a byte-identical cache hit — the CI movrd-smoke step.
+serve:
+	sh scripts/movrd_smoke.sh
+
+ci: build build-cmds vet fmt-check test race bench serve

@@ -1,0 +1,103 @@
+// Command movrd serves the MoVR simulator as a long-lived HTTP/JSON
+// daemon: submit simulation jobs, stream their progress, and scrape
+// metrics — simulation as a service instead of one-shot CLI runs.
+//
+// Usage:
+//
+//	movrd [flags]
+//
+// Flags:
+//
+//	-addr A      listen address (default 127.0.0.1:8477; use :0 to pick a free port)
+//	-workers N   shared session-pool capacity all jobs multiplex onto (0 = all cores)
+//	-max-jobs N  jobs executing concurrently (default 4)
+//	-queue N     queued-job bound; full queue answers 429 (default 16)
+//	-cache N     result-cache entries (default 256)
+//	-retain N    finished-job records kept for GET /v1/jobs (default 1024)
+//
+// API:
+//
+//	POST   /v1/jobs             submit a job spec (?wait=1 blocks until done)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        status + result
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/jobs/{id}/events per-session progress (SSE)
+//	GET    /healthz             liveness
+//	GET    /metrics             Prometheus text format
+//
+// Example:
+//
+//	curl -s localhost:8477/v1/jobs?wait=1 -d \
+//	  '{"kind":"fleet","fleet":{"scenario":"mixed","sessions":24,"seed":1}}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/movr-sim/movr/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8477", "listen address (use :0 to pick a free port)")
+	workers := flag.Int("workers", 0, "shared session-pool capacity (0 = all cores)")
+	maxJobs := flag.Int("max-jobs", 0, "concurrently executing jobs (0 = default 4)")
+	queue := flag.Int("queue", 0, "queued-job bound (0 = default 16)")
+	cacheN := flag.Int("cache", 0, "result-cache entries (0 = default 256)")
+	retain := flag.Int("retain", 0, "finished-job records kept (0 = default 1024)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "movrd: unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Options{
+		Workers:      *workers,
+		MaxJobs:      *maxJobs,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheN,
+		RetainJobs:   *retain,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("movrd: listen %s: %v", *addr, err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+
+	// The fixed "listening on" line is load-bearing: the smoke script
+	// (and anyone starting movrd with -addr :0) reads the actual
+	// address from it.
+	log.Printf("movrd: listening on %s", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("movrd: %v — shutting down", s)
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("movrd: serve: %v", err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("movrd: shutdown: %v", err)
+	}
+	srv.Close()
+}

@@ -53,6 +53,19 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Validate the fleet knobs up front — a bad value is a usage error,
+	// not something to discover inside the engine.
+	if *sessions <= 0 {
+		fmt.Fprintf(os.Stderr, "movrsim: -sessions %d must be positive\n\n", *sessions)
+		usage()
+		os.Exit(2)
+	}
+	kind, err := movr.ParseFleetScenario(*scenario)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "movrsim: %v\n\n", err)
+		usage()
+		os.Exit(2)
+	}
 
 	cmd := flag.Arg(0)
 	start := time.Now()
@@ -78,7 +91,7 @@ func main() {
 	case "ablations":
 		runAblations(*seed)
 	case "fleet":
-		runFleet(*seed, *workers, *sessions, *scenario, *fast)
+		runFleet(*seed, *workers, *sessions, kind, *fast)
 	case "all":
 		runFig3(*seed, *runs, *fast)
 		fmt.Println()
@@ -100,7 +113,7 @@ func main() {
 		fmt.Println()
 		runAblations(*seed)
 		fmt.Println()
-		runFleet(*seed, *workers, *sessions, *scenario, *fast)
+		runFleet(*seed, *workers, *sessions, kind, *fast)
 	default:
 		fmt.Fprintf(os.Stderr, "movrsim: unknown experiment %q\n\n", cmd)
 		usage()
@@ -183,37 +196,21 @@ func runMap(workers int) {
 	fmt.Print(movr.RunHeatmap(with).Render("VR coverage — AP + MoVR reflector"))
 }
 
-func runFleet(seed int64, workers, sessions int, scenario string, fast bool) {
+func runFleet(seed int64, workers, sessions int, kind movr.FleetScenarioKind, fast bool) {
 	cfg := movr.FleetScenarioConfig{Seed: seed, Duration: 10 * time.Second}
 	if fast {
 		cfg.Duration = 2 * time.Second
 		cfg.ReEvalPeriod = 100 * time.Millisecond
 	}
-	var specs []movr.FleetSpec
-	title := ""
-	switch scenario {
-	case "mixed":
-		specs = movr.MixedFleet(sessions, cfg)
-		title = "Fleet — mixed deployments (arcade + homes + dense blockers)"
-	case "arcade":
-		specs = movr.ArcadeFleetN(sessions, cfg)
-		title = "Fleet — VR arcade (8×8 m bays, 4 players each)"
-	case "home":
-		specs = movr.HomesFleet(sessions, cfg)
-		title = "Fleet — homes (one headset per room)"
-	case "dense":
-		specs = movr.DenseBlockerFleet(sessions, 6, cfg)
-		title = "Fleet — dense-blocker stress (office + 6 obstacles)"
-	default:
-		fmt.Fprintf(os.Stderr, "movrsim: unknown scenario %q (mixed|arcade|home|dense)\n", scenario)
-		os.Exit(2)
-	}
+	// The spec set comes from the same generator the movrd job API
+	// uses, so CLI runs and server jobs cannot drift apart.
+	specs := kind.Specs(sessions, cfg)
 	res, err := movr.RunFleet(context.Background(), specs, movr.FleetConfig{Workers: workers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "movrsim: fleet: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Print(res.Render(title))
+	fmt.Print(res.Render(kind.Title()))
 }
 
 func runAblations(seed int64) {

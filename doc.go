@@ -32,7 +32,14 @@
 //     across a bounded worker pool and aggregates them into fleet-level
 //     percentile statistics, byte-identical for any worker count. The
 //     heavy experiment sweeps (coverage heatmap, Fig 9 trials, the
-//     ablations) fan out through the same pool.
+//     ablations) fan out through the same pool;
+//   - a simulation-as-a-service daemon (cmd/movrd over internal/server):
+//     a job API with SSE progress streams, a scheduler that multiplexes
+//     concurrent jobs onto one shared bounded session pool with 429
+//     backpressure, a deterministic result cache keyed by a canonical
+//     spec hash (repeat submissions return byte-identical JSON
+//     instantly), and Prometheus metrics on /metrics. See the README's
+//     "Serving simulations" section for the API walkthrough.
 //
 // # Quick start
 //

@@ -31,6 +31,12 @@ type Fig9Config struct {
 	// Workers bounds the trial parallelism (<= 0 means GOMAXPROCS).
 	// Results are identical for every worker count.
 	Workers int
+
+	// Runner, when non-nil, executes trials on a shared persistent pool
+	// instead of an ephemeral one (Workers is then ignored) — how the
+	// movrd scheduler keeps concurrent API jobs inside one capacity
+	// bound. Results are identical either way.
+	Runner *pool.Runner
 }
 
 // DefaultFig9Config mirrors the paper.
@@ -59,6 +65,16 @@ type Fig9Result struct {
 // and (3) the MoVR-delivered SNR under the same blockage, reporting each
 // as improvement over LOS.
 func Fig9(cfg Fig9Config) Fig9Result {
+	res, err := Fig9Context(context.Background(), cfg)
+	if err != nil {
+		panic(err) // the background context never cancels; only a worker panic lands here
+	}
+	return res
+}
+
+// Fig9Context is Fig9 with cancellation: ctx aborts the study between
+// trials (the movrd job API's DELETE), reported as the context error.
+func Fig9Context(ctx context.Context, cfg Fig9Config) (Fig9Result, error) {
 	if cfg.Runs <= 0 {
 		cfg.Runs = 20
 	}
@@ -81,7 +97,7 @@ func Fig9(cfg Fig9Config) Fig9Result {
 	// Each trial builds its own world and writes into its own slot, so
 	// the trials fan out across the fleet worker pool deterministically.
 	type trial struct{ nlosImp, movrImp float64 }
-	trials, err := pool.Map(context.Background(), cfg.Runs, cfg.Workers, func(_ context.Context, run int) (trial, error) {
+	runTrial := func(_ context.Context, run int) (trial, error) {
 		w := NewWorld(1)
 		// Reflector in the corner opposite the AP (paper's placement).
 		dev := reflector.Default(geom.V(4.6, 4.6), 225)
@@ -116,9 +132,18 @@ func Fig9(cfg Fig9Config) Fig9Result {
 			movrSNR = losSNR - 40
 		}
 		return trial{nlosImp: nlos.SNRdB - losSNR, movrImp: movrSNR - losSNR}, nil
-	})
+	}
+	var (
+		trials []trial
+		err    error
+	)
+	if cfg.Runner != nil {
+		trials, err = pool.MapOn(ctx, cfg.Runner, cfg.Runs, runTrial)
+	} else {
+		trials, err = pool.Map(ctx, cfg.Runs, cfg.Workers, runTrial)
+	}
 	if err != nil {
-		panic(err) // trials return no errors; only a worker panic lands here
+		return Fig9Result{}, err
 	}
 
 	res := Fig9Result{}
@@ -132,7 +157,7 @@ func Fig9(cfg Fig9Config) Fig9Result {
 
 	res.OptNLOSSummary = stats.Summarize(res.OptNLOSImp)
 	res.MoVRSummary = stats.Summarize(res.MoVRImp)
-	return res
+	return res, nil
 }
 
 // Render prints the CDF plot and summaries.

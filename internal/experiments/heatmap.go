@@ -30,6 +30,12 @@ type HeatmapConfig struct {
 	// Every worker count produces identical results: cells are
 	// independent and land in fixed grid slots.
 	Workers int
+
+	// Runner, when non-nil, executes cells on a shared persistent pool
+	// instead of an ephemeral one (Workers is then ignored) — how the
+	// movrd scheduler keeps concurrent API jobs inside one capacity
+	// bound. Results are identical either way.
+	Runner *pool.Runner
 }
 
 // DefaultHeatmapConfig probes a 0.5 m grid over 8 orientations.
@@ -59,6 +65,17 @@ type HeatmapResult struct {
 // required rate? It visualizes the claim behind Fig 5's cartoon — the
 // reflector fills the shadowed orientations.
 func Heatmap(cfg HeatmapConfig) HeatmapResult {
+	res, err := HeatmapContext(context.Background(), cfg)
+	if err != nil {
+		panic(err) // the background context never cancels; only a worker panic lands here
+	}
+	return res
+}
+
+// HeatmapContext is Heatmap with cancellation: ctx aborts the sweep
+// between cells (the movrd job API's DELETE), reported as the context
+// error.
+func HeatmapContext(ctx context.Context, cfg HeatmapConfig) (HeatmapResult, error) {
 	if cfg.GridStep <= 0 {
 		cfg.GridStep = 0.5
 	}
@@ -83,7 +100,7 @@ func Heatmap(cfg HeatmapConfig) HeatmapResult {
 	// slot; aggregation below is order-independent arithmetic over the
 	// fixed grid, so results are identical for any worker count.
 	cells := len(res.Xs) * len(res.Ys)
-	err := pool.ForEach(context.Background(), cells, cfg.Workers, func(_ context.Context, cell int) error {
+	runCell := func(_ context.Context, cell int) error {
 		iy, ix := cell/len(res.Xs), cell%len(res.Xs)
 		x, y := res.Xs[ix], res.Ys[iy]
 		covered := 0
@@ -105,9 +122,15 @@ func Heatmap(cfg HeatmapConfig) HeatmapResult {
 		}
 		res.Cover[iy][ix] = float64(covered) / float64(len(cfg.Yaws))
 		return nil
-	})
+	}
+	var err error
+	if cfg.Runner != nil {
+		err = cfg.Runner.ForEach(ctx, cells, runCell)
+	} else {
+		err = pool.ForEach(ctx, cells, cfg.Workers, runCell)
+	}
 	if err != nil {
-		panic(err) // cells return no errors; only a worker panic lands here
+		return HeatmapResult{}, err
 	}
 
 	total := 0.0
@@ -117,7 +140,7 @@ func Heatmap(cfg HeatmapConfig) HeatmapResult {
 		}
 	}
 	res.MeanCoverage = total / float64(cells)
-	return res
+	return res, nil
 }
 
 // Render draws the coverage map as ASCII shades: '#' full coverage, '.'

@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/movr-sim/movr/internal/experiments"
@@ -49,6 +50,22 @@ type Config struct {
 	// Workers bounds the session parallelism (<= 0 means GOMAXPROCS).
 	// The worker count never changes results, only wall-clock time.
 	Workers int
+
+	// Runner, when non-nil, executes sessions on a shared persistent
+	// pool instead of an ephemeral one, so many concurrent fleet runs
+	// together never exceed the Runner's capacity — the movrd job
+	// scheduler multiplexes every API job onto a single Runner. Workers
+	// is ignored when Runner is set. Results are identical either way.
+	Runner *pool.Runner
+
+	// OnSession, when non-nil, is invoked once per session as it
+	// completes, from the worker goroutine that ran it — the hook the
+	// movrd event stream and progress bars build on. Sessions complete
+	// in arbitrary order, so the callback must be safe for concurrent
+	// use; done is the number of sessions finished so far (including
+	// this one) and total is len(specs). The callback never changes
+	// results.
+	OnSession func(done, total int, outcome SessionOutcome)
 }
 
 // SessionOutcome is one session's result.
@@ -127,7 +144,8 @@ func Run(ctx context.Context, specs []Spec, cfg Config) (Result, error) {
 	if len(specs) == 0 {
 		return Result{}, fmt.Errorf("fleet: no sessions to run")
 	}
-	outcomes, err := pool.Map(ctx, len(specs), cfg.Workers, func(_ context.Context, i int) (SessionOutcome, error) {
+	var completed atomic.Int64
+	run := func(_ context.Context, i int) (SessionOutcome, error) {
 		sp := specs[i]
 		variant := sp.Variant
 		if variant == "" {
@@ -147,8 +165,20 @@ func Run(ctx context.Context, specs []Spec, cfg Config) (Result, error) {
 		if out.Report.Frames > 0 {
 			o.DeliveredFrac = float64(out.Report.Delivered) / float64(out.Report.Frames)
 		}
+		if cfg.OnSession != nil {
+			cfg.OnSession(int(completed.Add(1)), len(specs), o)
+		}
 		return o, nil
-	})
+	}
+	var (
+		outcomes []SessionOutcome
+		err      error
+	)
+	if cfg.Runner != nil {
+		outcomes, err = pool.MapOn(ctx, cfg.Runner, len(specs), run)
+	} else {
+		outcomes, err = pool.Map(ctx, len(specs), cfg.Workers, run)
+	}
 	if err != nil {
 		return Result{}, err
 	}

@@ -7,6 +7,9 @@
 //
 // The experiment sweeps (heatmap cells, Fig 9 trials, ablation points)
 // and the multi-session fleet engine all fan out through this package.
+// The package-level ForEach/Map bound one call; Runner is the same
+// contract as a persistent pool whose capacity is shared across many
+// concurrent calls (the movrd job scheduler's substrate).
 package pool
 
 import (
@@ -42,11 +45,84 @@ func Workers(requested, n int) int {
 // is recovered and reported as an error rather than crashing the
 // process. With workers == 1 execution is strictly sequential in index
 // order.
+//
+// An ephemeral pool is exactly a one-shot Runner, so this delegates —
+// the two paths cannot drift apart behaviorally.
 func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
-	workers = Workers(workers, n)
+	return NewRunner(Workers(workers, n)).ForEach(ctx, n, fn)
+}
+
+// Map runs fn over [0, n) through ForEach and returns the results in
+// index order — the slot for item i holds fn's result for i, whatever
+// worker computed it. On error the partial results are discarded.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Runner is a persistent bounded worker pool shared by many concurrent
+// ForEach/MapOn calls. Where the package-level functions bound the
+// parallelism of one call, a Runner bounds the parallelism of every
+// call that goes through it put together: the movrd scheduler
+// multiplexes all concurrent API jobs onto a single Runner so the
+// machine never runs more sessions at once than its capacity, however
+// many jobs are in flight.
+//
+// A slot is held only while an item executes, never while a call waits,
+// so concurrent calls interleave item-by-item instead of serializing
+// whole jobs. Determinism is unchanged: results land in index slots, so
+// a run through a Runner is byte-identical to a run through Map.
+type Runner struct {
+	slots chan struct{}
+	inUse atomic.Int64
+}
+
+// NewRunner builds a shared pool with the given capacity (<= 0 means
+// GOMAXPROCS).
+func NewRunner(capacity int) *Runner {
+	if capacity < 1 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	r := &Runner{slots: make(chan struct{}, capacity)}
+	for i := 0; i < capacity; i++ {
+		r.slots <- struct{}{}
+	}
+	return r
+}
+
+// Capacity reports the slot count.
+func (r *Runner) Capacity() int { return cap(r.slots) }
+
+// InUse reports how many slots are currently executing items — a
+// utilization gauge, inherently racy and only for monitoring.
+func (r *Runner) InUse() int { return int(r.inUse.Load()) }
+
+// ForEach runs fn(ctx, i) for every i in [0, n), each item executing
+// only while holding one of the Runner's shared slots. Items are
+// claimed in index order; error/panic/cancellation semantics match the
+// package-level ForEach. Cancelling ctx releases the call promptly even
+// when every slot is busy with other callers' items.
+func (r *Runner) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	// Spawning more goroutines than slots is pointless; they would all
+	// block on acquisition.
+	workers := Workers(r.Capacity(), n)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -67,8 +143,6 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	run := func(i int) {
 		defer func() {
 			if r := recover(); r != nil {
-				// The original stack dies with this recover; fold it
-				// into the error so the crash site stays debuggable.
 				fail(fmt.Errorf("pool: item %d panicked: %v\n%s", i, r, debug.Stack()))
 			}
 		}()
@@ -89,7 +163,15 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 				if i >= n {
 					return
 				}
+				select {
+				case <-r.slots:
+				case <-ctx.Done():
+					return
+				}
+				r.inUse.Add(1)
 				run(i)
+				r.inUse.Add(-1)
+				r.slots <- struct{}{}
 			}
 		}()
 	}
@@ -101,12 +183,12 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	return ctx.Err()
 }
 
-// Map runs fn over [0, n) through ForEach and returns the results in
-// index order — the slot for item i holds fn's result for i, whatever
-// worker computed it. On error the partial results are discarded.
-func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+// MapOn runs fn over [0, n) through r.ForEach and returns the results
+// in index order, exactly as Map does for an ephemeral pool. (A free
+// function because Go methods cannot introduce type parameters.)
+func MapOn[T any](ctx context.Context, r *Runner, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(ctx, n, workers, func(ctx context.Context, i int) error {
+	err := r.ForEach(ctx, n, func(ctx context.Context, i int) error {
 		v, err := fn(ctx, i)
 		if err != nil {
 			return err

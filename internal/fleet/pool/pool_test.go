@@ -169,3 +169,142 @@ func TestWorkersNormalization(t *testing.T) {
 		t.Errorf("Workers(-3,0) = %d, want 1", w)
 	}
 }
+
+func TestRunnerRunsEverything(t *testing.T) {
+	r := NewRunner(3)
+	var ran atomic.Int64
+	if err := r.ForEach(context.Background(), 50, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d of 50", ran.Load())
+	}
+}
+
+func TestRunnerBoundsConcurrencyAcrossCalls(t *testing.T) {
+	// Two concurrent ForEach calls share the same 3 slots: their summed
+	// in-flight item count must never exceed the Runner's capacity.
+	r := NewRunner(3)
+	var cur, peak atomic.Int64
+	item := func(ctx context.Context, i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[c] = r.ForEach(context.Background(), 30, item)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak in-flight %d exceeds shared capacity 3", p)
+	}
+}
+
+func TestRunnerCancelReleasesWaiter(t *testing.T) {
+	// One caller occupies the only slot; a second caller blocked on slot
+	// acquisition must return promptly when its own context is
+	// cancelled.
+	r := NewRunner(1)
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	go r.ForEach(context.Background(), 1, func(ctx context.Context, i int) error {
+		close(started)
+		<-hold
+		return nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- r.ForEach(ctx, 5, func(ctx context.Context, i int) error { return nil })
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled caller stayed blocked on a busy Runner")
+	}
+	close(hold)
+}
+
+func TestRunnerPropagatesErrorAndPanic(t *testing.T) {
+	r := NewRunner(2)
+	boom := errors.New("boom")
+	err := r.ForEach(context.Background(), 10, func(ctx context.Context, i int) error {
+		if i == 4 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "item 4") {
+		t.Fatalf("err = %v", err)
+	}
+	err = r.ForEach(context.Background(), 4, func(ctx context.Context, i int) error {
+		panic("kaboom")
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want panic converted to error", err)
+	}
+	// The Runner must still be usable after failures: every slot was
+	// returned.
+	var ran atomic.Int64
+	if err := r.ForEach(context.Background(), 8, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil || ran.Load() != 8 {
+		t.Fatalf("post-failure run: ran=%d err=%v", ran.Load(), err)
+	}
+}
+
+func TestMapOnKeepsIndexOrder(t *testing.T) {
+	r := NewRunner(7)
+	out, err := MapOn(context.Background(), r, 64, func(ctx context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRunnerCapacityAndInUse(t *testing.T) {
+	r := NewRunner(4)
+	if r.Capacity() != 4 {
+		t.Fatalf("Capacity = %d", r.Capacity())
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("idle InUse = %d", r.InUse())
+	}
+	if NewRunner(0).Capacity() < 1 {
+		t.Fatal("NewRunner(0) should default to GOMAXPROCS")
+	}
+}

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/movr-sim/movr/internal/fleet/pool"
+)
+
+func tinySpecs(t *testing.T, n int) []Spec {
+	t.Helper()
+	specs := KindHome.Specs(n, ScenarioConfig{Seed: 7, Duration: 500 * time.Millisecond})
+	if len(specs) != n {
+		t.Fatalf("generated %d specs, want %d", len(specs), n)
+	}
+	return specs
+}
+
+// TestRunOnSharedRunnerMatchesEphemeralPool is the determinism contract
+// the movrd scheduler relies on: a fleet run multiplexed onto a shared
+// Runner is identical to the same run on its own ephemeral pool.
+func TestRunOnSharedRunnerMatchesEphemeralPool(t *testing.T) {
+	specs := tinySpecs(t, 4)
+	plain, err := Run(context.Background(), specs, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := Run(context.Background(), specs, Config{Runner: pool.NewRunner(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, shared) {
+		t.Fatal("shared-Runner result differs from ephemeral-pool result")
+	}
+}
+
+func TestRunOnSessionSeesEveryCompletion(t *testing.T) {
+	specs := tinySpecs(t, 5)
+	var (
+		mu    sync.Mutex
+		seen  = map[string]bool{}
+		dones []int
+		total int
+	)
+	res, err := Run(context.Background(), specs, Config{
+		Workers: 3,
+		OnSession: func(done, tot int, o SessionOutcome) {
+			mu.Lock()
+			defer mu.Unlock()
+			seen[o.ID] = true
+			dones = append(dones, done)
+			total = tot
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(specs) {
+		t.Errorf("total = %d, want %d", total, len(specs))
+	}
+	if len(dones) != len(specs) {
+		t.Fatalf("callback fired %d times for %d sessions", len(dones), len(specs))
+	}
+	for _, sp := range specs {
+		if !seen[sp.ID] {
+			t.Errorf("no completion event for session %q", sp.ID)
+		}
+	}
+	// done values are a permutation of 1..n — each fires exactly once.
+	hit := make([]bool, len(specs)+1)
+	for _, d := range dones {
+		if d < 1 || d > len(specs) || hit[d] {
+			t.Fatalf("done sequence %v is not a permutation of 1..%d", dones, len(specs))
+		}
+		hit[d] = true
+	}
+	// The callback must not have perturbed the result.
+	plain, err := Run(context.Background(), specs, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, plain) {
+		t.Fatal("OnSession changed the fleet result")
+	}
+}

@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"github.com/movr-sim/movr/internal/experiments"
@@ -43,6 +44,76 @@ func (cfg ScenarioConfig) session(seed int64) experiments.SessionConfig {
 		ReEvalPeriod: cfg.ReEvalPeriod,
 	}
 }
+
+// Kind names a scenario generator. It is the shared vocabulary of the
+// movrsim CLI's -scenario flag and the movrd job API's fleet scenario
+// field, so the two front-ends cannot drift apart.
+type Kind string
+
+// The recognised scenario kinds.
+const (
+	KindMixed  Kind = "mixed"
+	KindArcade Kind = "arcade"
+	KindHome   Kind = "home"
+	KindDense  Kind = "dense"
+)
+
+// Kinds lists the recognised scenario kinds in menu order.
+var Kinds = []Kind{KindMixed, KindArcade, KindHome, KindDense}
+
+// KindNames renders the menu for usage strings: "mixed|arcade|home|dense".
+func KindNames() string {
+	names := make([]string, len(Kinds))
+	for i, k := range Kinds {
+		names[i] = string(k)
+	}
+	return strings.Join(names, "|")
+}
+
+// ParseKind validates a scenario name.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if s == string(k) {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("unknown scenario %q (%s)", s, KindNames())
+}
+
+// Specs generates the deterministic spec set for n sessions of kind k.
+// An unknown kind yields nil (use ParseKind to validate input first).
+func (k Kind) Specs(n int, cfg ScenarioConfig) []Spec {
+	switch k {
+	case KindMixed:
+		return Mixed(n, cfg)
+	case KindArcade:
+		return ArcadeN(n, cfg)
+	case KindHome:
+		return Homes(n, cfg)
+	case KindDense:
+		return DenseBlockers(n, defaultDenseBlockers, cfg)
+	}
+	return nil
+}
+
+// Title is the human-readable report banner for the kind.
+func (k Kind) Title() string {
+	switch k {
+	case KindMixed:
+		return "Fleet — mixed deployments (arcade + homes + dense blockers)"
+	case KindArcade:
+		return "Fleet — VR arcade (8×8 m bays, 4 players each)"
+	case KindHome:
+		return "Fleet — homes (one headset per room)"
+	case KindDense:
+		return fmt.Sprintf("Fleet — dense-blocker stress (office + %d obstacles)", defaultDenseBlockers)
+	}
+	return "Fleet"
+}
+
+// defaultDenseBlockers is the obstacle count Kind.Specs uses for the
+// dense scenario — the historical movrsim default.
+const defaultDenseBlockers = 6
 
 // Arcade generates a VR-arcade deployment: `rooms` large 8 m × 8 m bays,
 // each with three wall-mounted reflectors and `headsetsPerRoom` players.

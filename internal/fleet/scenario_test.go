@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScenarioKindsDeterministicAndDistinct asserts, for every scenario
+// kind, the two properties the job API's result cache depends on: the
+// same seed generates an identical spec set on every call, and every
+// session in a set carries a distinct ID.
+func TestScenarioKindsDeterministicAndDistinct(t *testing.T) {
+	cfg := ScenarioConfig{Seed: 42, Duration: 2 * time.Second}
+	for _, kind := range Kinds {
+		t.Run(string(kind), func(t *testing.T) {
+			const n = 13
+			a := kind.Specs(n, cfg)
+			b := kind.Specs(n, cfg)
+			if len(a) == 0 {
+				t.Fatalf("%s generated no specs", kind)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s: same seed generated different spec sets", kind)
+			}
+			ids := make(map[string]bool, len(a))
+			for _, sp := range a {
+				if sp.ID == "" {
+					t.Fatalf("%s: empty session ID", kind)
+				}
+				if ids[sp.ID] {
+					t.Fatalf("%s: duplicate session ID %q", kind, sp.ID)
+				}
+				ids[sp.ID] = true
+			}
+
+			// A different seed must move at least the session seeds.
+			other := cfg
+			other.Seed = 43
+			c := kind.Specs(n, other)
+			if reflect.DeepEqual(a, c) {
+				t.Fatalf("%s: seeds 42 and 43 generated identical spec sets", kind)
+			}
+		})
+	}
+}
+
+func TestScenarioKindSessionCounts(t *testing.T) {
+	cfg := ScenarioConfig{Seed: 1}
+	for _, kind := range Kinds {
+		for _, n := range []int{1, 4, 9} {
+			if got := len(kind.Specs(n, cfg)); got != n {
+				t.Errorf("%s.Specs(%d) generated %d sessions", kind, n, got)
+			}
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, kind := range Kinds {
+		got, err := ParseKind(string(kind))
+		if err != nil || got != kind {
+			t.Errorf("ParseKind(%q) = %q, %v", kind, got, err)
+		}
+	}
+	if _, err := ParseKind("stadium"); err == nil {
+		t.Error("ParseKind accepted an unknown scenario")
+	} else if !strings.Contains(err.Error(), KindNames()) {
+		t.Errorf("error %q should list the valid kinds", err)
+	}
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"github.com/movr-sim/movr/internal/experiments"
+	"github.com/movr-sim/movr/internal/fleet"
+	"github.com/movr-sim/movr/internal/fleet/pool"
+)
+
+// payload is the deterministic result document of a completed job: the
+// structured result of the experiment that ran, plus the same text
+// rendering the movrsim CLI prints. Serialized once and cached as raw
+// bytes, so a cache hit is bit-for-bit the fresh run.
+type payload struct {
+	Kind   string                     `json:"kind"`
+	Fleet  *fleet.Result              `json:"fleet,omitempty"`
+	Fig9   *experiments.Fig9Result    `json:"fig9,omitempty"`
+	Map    *experiments.HeatmapResult `json:"map,omitempty"`
+	Render string                     `json:"render"`
+}
+
+// execute runs a normalized spec to completion and returns the result
+// bytes. Every kind's units of work — fleet sessions, fig9 trials, map
+// cells — execute on the shared runner, so concurrent jobs together
+// never exceed its capacity; fleet jobs additionally report per-session
+// completions through onSession. ctx cancels a job between work units.
+func execute(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession func(done, total int, o fleet.SessionOutcome)) ([]byte, error) {
+	var p payload
+	switch spec.Kind {
+	case "fleet":
+		res, title, err := executeFleet(ctx, *spec.Fleet, runner, onSession)
+		if err != nil {
+			return nil, err
+		}
+		p = payload{Kind: "fleet", Fleet: &res, Render: res.Render(title)}
+	case "fig9":
+		f := *spec.Fig9
+		cfg := experiments.Fig9Config{
+			Runs:        f.Runs,
+			NLOSStepDeg: f.NLOSStepDeg,
+			Seed:        f.Seed,
+			Runner:      runner,
+		}
+		res, err := experiments.Fig9Context(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p = payload{Kind: "fig9", Fig9: &res, Render: res.Render()}
+	case "map":
+		m := *spec.Map
+		cfg := experiments.DefaultHeatmapConfig(m.WithReflector)
+		cfg.GridStep = m.GridStep
+		cfg.Runner = runner
+		res, err := experiments.HeatmapContext(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		title := "VR coverage — bare AP"
+		if m.WithReflector {
+			title = "VR coverage — AP + MoVR reflector"
+		}
+		p = payload{Kind: "map", Map: &res, Render: res.Render(title)}
+	default:
+		return nil, fmt.Errorf("execute: unknown kind %q", spec.Kind)
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("execute: encode result: %w", err)
+	}
+	return raw, nil
+}
+
+// executeFleet expands the fleet job spec into session specs — the full
+// scenario set once per requested variant, IDs suffixed "@variant" —
+// and runs them on the shared pool.
+func executeFleet(ctx context.Context, f FleetJobSpec, runner *pool.Runner, onSession func(done, total int, o fleet.SessionOutcome)) (fleet.Result, string, error) {
+	kind, err := fleet.ParseKind(f.Scenario)
+	if err != nil {
+		return fleet.Result{}, "", err
+	}
+	scfg := fleet.ScenarioConfig{
+		Seed:         f.Seed,
+		Duration:     f.fleetDuration(),
+		ReEvalPeriod: f.reEvalPeriod(),
+	}
+	base := kind.Specs(f.Sessions, scfg)
+	specs := make([]fleet.Spec, 0, len(base)*len(f.Variants))
+	for _, name := range f.Variants {
+		variant := variantNames[name]
+		for _, sp := range base {
+			sp.ID = sp.ID + "@" + name
+			sp.Variant = variant
+			specs = append(specs, sp)
+		}
+	}
+	res, err := fleet.Run(ctx, specs, fleet.Config{Runner: runner, OnSession: onSession})
+	if err != nil {
+		return fleet.Result{}, "", err
+	}
+	title := kind.Title()
+	if len(f.Variants) > 1 {
+		title += " [" + strings.Join(f.Variants, "+") + "]"
+	}
+	return res, title, nil
+}

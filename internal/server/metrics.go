@@ -1,0 +1,67 @@
+package server
+
+import (
+	"github.com/movr-sim/movr/internal/fleet/pool"
+	"github.com/movr-sim/movr/internal/metrics"
+)
+
+// serverMetrics wires the daemon's instruments into one registry; the
+// /metrics handler renders it in Prometheus text format.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	jobsSubmitted *metrics.Counter
+	jobsRejected  *metrics.Counter
+	jobsDone      *metrics.Counter
+	jobsFailed    *metrics.Counter
+	jobsCanceled  *metrics.Counter
+	jobsQueued    *metrics.Gauge
+	jobsRunning   *metrics.Gauge
+
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+
+	sessionsDone *metrics.Counter
+	jobLatency   *metrics.Histogram
+	httpRequests *metrics.Counter
+}
+
+func newServerMetrics(runner *pool.Runner, c *cache) *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{
+		reg:           reg,
+		jobsSubmitted: reg.NewCounter("movrd_jobs_submitted_total", "Jobs accepted by POST /v1/jobs."),
+		jobsRejected:  reg.NewCounter("movrd_jobs_rejected_total", "Submissions rejected with 429 because the queue was full."),
+		jobsDone:      reg.NewCounter("movrd_jobs_done_total", "Jobs completed successfully (cache hits included)."),
+		jobsFailed:    reg.NewCounter("movrd_jobs_failed_total", "Jobs that ended in error."),
+		jobsCanceled:  reg.NewCounter("movrd_jobs_canceled_total", "Jobs canceled before completing."),
+		jobsQueued:    reg.NewGauge("movrd_jobs_queued", "Jobs waiting in the scheduler queue."),
+		jobsRunning:   reg.NewGauge("movrd_jobs_running", "Jobs currently executing."),
+		cacheHits:     reg.NewCounter("movrd_cache_hits_total", "Submissions served from the result cache."),
+		cacheMisses:   reg.NewCounter("movrd_cache_misses_total", "Submissions that had to run."),
+		sessionsDone:  reg.NewCounter("movrd_sessions_completed_total", "Fleet sessions completed across all jobs."),
+		jobLatency:    reg.NewHistogram("movrd_job_latency_seconds", "Wall-clock latency of executed jobs (cache hits excluded).", metrics.DefaultLatencyBuckets()),
+		httpRequests:  reg.NewCounter("movrd_http_requests_total", "HTTP requests served."),
+	}
+	reg.NewGaugeFunc("movrd_cache_entries", "Entries in the result cache.",
+		func() float64 { return float64(c.Len()) })
+	reg.NewGaugeFunc("movrd_cache_hit_ratio", "Cache hits / submissions, 0 before any submission.",
+		func() float64 {
+			h, ms := float64(m.cacheHits.Value()), float64(m.cacheMisses.Value())
+			if h+ms == 0 {
+				return 0
+			}
+			return h / (h + ms)
+		})
+	reg.NewGaugeFunc("movrd_pool_capacity", "Shared session pool capacity.",
+		func() float64 { return float64(runner.Capacity()) })
+	reg.NewGaugeFunc("movrd_pool_in_use", "Shared session pool slots executing right now.",
+		func() float64 { return float64(runner.InUse()) })
+	reg.NewGaugeFunc("movrd_pool_utilization", "Pool slots in use / capacity.",
+		func() float64 { return float64(runner.InUse()) / float64(runner.Capacity()) })
+	reg.NewGaugeFunc("movrd_job_latency_p50_seconds", "Estimated median executed-job latency.",
+		func() float64 { return m.jobLatency.Quantile(50) })
+	reg.NewGaugeFunc("movrd_job_latency_p95_seconds", "Estimated p95 executed-job latency.",
+		func() float64 { return m.jobLatency.Quantile(95) })
+	return m
+}

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Server is the HTTP front-end over a Scheduler: the movrd daemon's
+// handler. Routes:
+//
+//	POST   /v1/jobs             submit a JobSpec; ?wait=1 blocks until done
+//	GET    /v1/jobs             list retained jobs (summaries)
+//	GET    /v1/jobs/{id}        job status + result
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/jobs/{id}/events per-session progress as SSE
+//	GET    /healthz             liveness
+//	GET    /metrics             Prometheus text exposition
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// New builds a server (and its scheduler) from options.
+func New(opts Options) *Server {
+	s := &Server{sched: NewScheduler(opts), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	return s
+}
+
+// Scheduler exposes the underlying scheduler (tests, embedding).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Close shuts the scheduler down.
+func (s *Server) Close() { s.sched.Close() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.sched.met.httpRequests.Inc()
+	s.mux.ServeHTTP(w, r)
+}
+
+// jobView is the job-status JSON document. Result is raw bytes from the
+// executor/cache, embedded verbatim — the field is byte-identical
+// across a fresh run and a cache hit of the same spec.
+type jobView struct {
+	ID         string          `json:"id"`
+	State      State           `json:"state"`
+	Cached     bool            `json:"cached"`
+	SpecSHA256 string          `json:"spec_sha256"`
+	Spec       JobSpec         `json:"spec"`
+	Error      string          `json:"error,omitempty"`
+	CreatedAt  time.Time       `json:"created_at"`
+	StartedAt  time.Time       `json:"started_at,omitzero"`
+	FinishedAt time.Time       `json:"finished_at,omitzero"`
+	ElapsedMS  int64           `json:"elapsed_ms,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	ResultSHA  string          `json:"result_sha256,omitempty"`
+}
+
+// view snapshots a job. withResult=false gives the list summary.
+func view(j *Job, withResult bool) jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:         j.ID,
+		State:      j.state,
+		Cached:     j.cached,
+		SpecSHA256: j.Hash,
+		Spec:       j.Spec,
+		Error:      j.errMsg,
+		CreatedAt:  j.created,
+		StartedAt:  j.started,
+		FinishedAt: j.finished,
+	}
+	if !j.finished.IsZero() && !j.started.IsZero() {
+		v.ElapsedMS = j.finished.Sub(j.started).Milliseconds()
+	}
+	if j.result != nil {
+		v.ResultSHA = j.resultSHA
+		if withResult {
+			v.Result = j.result
+		}
+	}
+	return v
+}
+
+// wantWait interprets the wait query parameter: absent, "0" and
+// "false" mean fire-and-forget; anything else blocks.
+func wantWait(v string) bool {
+	return v != "" && v != "0" && v != "false"
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.sched.met.reg.WritePrometheus(w)
+}
+
+// handleSubmit accepts a JobSpec. The response carries an X-Movr-Cache
+// header ("hit" or "miss"). Without ?wait the answer is 202 Accepted
+// with the queued job (or 200 with the finished job on a cache hit);
+// with ?wait=1 the handler blocks until the job is terminal and always
+// answers 200 — unless the client goes away first.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode spec: %v", err)
+		return
+	}
+	job, err := s.sched.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	_, cached := job.Result()
+	cacheHeader := "miss"
+	if cached {
+		cacheHeader = "hit"
+	}
+	w.Header().Set("X-Movr-Cache", cacheHeader)
+
+	if wantWait(r.URL.Query().Get("wait")) {
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+			// Client gone; the job keeps running (its result is still
+			// cacheable for the next submission).
+			return
+		}
+		writeJSON(w, http.StatusOK, view(job, true))
+		return
+	}
+	status := http.StatusAccepted
+	if job.State().Terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, view(job, true))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sched.Jobs()
+	views := make([]jobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = view(j, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.sched.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, view(j, true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	s.sched.Cancel(j.ID)
+	writeJSON(w, http.StatusOK, view(j, false))
+}
+
+// handleEvents streams the job's progress as server-sent events: one
+// `data:` line per Event, ending after the terminal event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	seq := 0
+	for {
+		evs, terminal, updated := j.EventsSince(seq)
+		for _, ev := range evs {
+			raw, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", raw)
+			seq = ev.Seq
+		}
+		if canFlush {
+			fl.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package server exposes the whole simulator as a long-lived HTTP/JSON
+// service — the movrd daemon's engine. It has four layers:
+//
+//   - an API layer: POST /v1/jobs accepts a scenario spec (a fleet
+//     scenario, a Fig 9 study, or a coverage map), GET /v1/jobs/{id}
+//     reports status and result, GET /v1/jobs/{id}/events streams
+//     per-session progress as SSE, plus /healthz and /metrics;
+//   - a job scheduler that multiplexes every concurrent API job onto one
+//     shared bounded session pool (internal/fleet/pool.Runner), with
+//     per-job cancellation, a bounded queue, and 429 backpressure;
+//   - a deterministic result cache keyed by a canonical hash of the job
+//     spec — fleet results are byte-identical for a given seed set, so a
+//     cache hit returns the exact bytes a fresh run would produce;
+//   - a metrics layer (Prometheus text format on /metrics) built on
+//     internal/metrics.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/movr-sim/movr/internal/experiments"
+	"github.com/movr-sim/movr/internal/fleet"
+)
+
+// Service limits: jobs are interactive API calls, not batch runs, so
+// the spec is bounded before it reaches the engine.
+const (
+	maxFleetSessions  = 256     // sessions × variants, the real work bound
+	maxFleetDuration  = 120_000 // ms
+	minFleetReEvalMS  = 5       // finer cadence multiplies tick work ~linearly
+	maxFig9Runs       = 500
+	minFig9StepDeg    = 0.5 // OptNLOS sweeps both beams: work ~ (360/step)²
+	minMapGridStep    = 0.1
+	defaultSessions   = 8
+	defaultDurationMS = 2000
+	defaultReEvalMS   = 50
+)
+
+// JobSpec is the wire format of POST /v1/jobs: a kind plus the matching
+// sub-spec. Exactly one sub-spec may be set, and it must match Kind
+// (a nil sub-spec of the right kind means "all defaults").
+type JobSpec struct {
+	// Kind selects the experiment: "fleet", "fig9" or "map".
+	Kind string `json:"kind"`
+
+	Fleet *FleetJobSpec `json:"fleet,omitempty"`
+	Fig9  *Fig9JobSpec  `json:"fig9,omitempty"`
+	Map   *MapJobSpec   `json:"map,omitempty"`
+}
+
+// FleetJobSpec parameterizes a multi-session fleet run.
+type FleetJobSpec struct {
+	// Scenario is the generator kind: mixed|arcade|home|dense
+	// (default mixed).
+	Scenario string `json:"scenario,omitempty"`
+
+	// Sessions is the session count (default 8, max 256).
+	Sessions int `json:"sessions,omitempty"`
+
+	// Seed drives the whole scenario deterministically.
+	Seed int64 `json:"seed"`
+
+	// DurationMS is the per-session play length in milliseconds
+	// (default 2000, max 120000).
+	DurationMS int `json:"duration_ms,omitempty"`
+
+	// ReEvalMS is the tracking cadence in milliseconds (default 50).
+	ReEvalMS int `json:"reeval_ms,omitempty"`
+
+	// Variants lists the system variants to run, each applied to the
+	// full spec set: direct|static|reactive|tracking. Default tracking.
+	Variants []string `json:"variants,omitempty"`
+}
+
+// Fig9JobSpec parameterizes the §5.2 SNR-improvement study.
+type Fig9JobSpec struct {
+	// Runs is the number of random headset placements (default 20,
+	// max 500).
+	Runs int `json:"runs,omitempty"`
+
+	// NLOSStepDeg is the Opt-NLOS sweep granularity (default 2,
+	// min 0.5 — sweep work grows quadratically as the step shrinks).
+	NLOSStepDeg float64 `json:"nlos_step_deg,omitempty"`
+
+	// Seed fixes the placements.
+	Seed int64 `json:"seed"`
+}
+
+// MapJobSpec parameterizes a coverage heatmap.
+type MapJobSpec struct {
+	// GridStep is the sampling pitch in metres (default 0.5, min 0.1).
+	GridStep float64 `json:"grid_step,omitempty"`
+
+	// WithReflector toggles the MoVR reflector install.
+	WithReflector bool `json:"with_reflector"`
+}
+
+// variantNames maps the wire vocabulary to the session variants.
+var variantNames = map[string]experiments.SessionVariant{
+	"direct":   experiments.VariantDirectOnly,
+	"static":   experiments.VariantMoVRStatic,
+	"reactive": experiments.VariantMoVRReactive,
+	"tracking": experiments.VariantMoVRTracking,
+}
+
+// Normalize validates the spec and fills every defaultable field with
+// its explicit value, so that logically identical specs normalize to
+// the same value — the property the canonical Hash (and therefore the
+// result cache) keys on.
+func (s JobSpec) Normalize() (JobSpec, error) {
+	set := 0
+	for _, sub := range []bool{s.Fleet != nil, s.Fig9 != nil, s.Map != nil} {
+		if sub {
+			set++
+		}
+	}
+	if set > 1 {
+		return JobSpec{}, fmt.Errorf("spec: more than one experiment sub-spec set")
+	}
+	switch s.Kind {
+	case "fleet":
+		if s.Fig9 != nil || s.Map != nil {
+			return JobSpec{}, fmt.Errorf("spec: kind %q with mismatched sub-spec", s.Kind)
+		}
+		f := FleetJobSpec{}
+		if s.Fleet != nil {
+			f = *s.Fleet
+		}
+		nf, err := f.normalize()
+		if err != nil {
+			return JobSpec{}, err
+		}
+		return JobSpec{Kind: "fleet", Fleet: &nf}, nil
+	case "fig9":
+		if s.Fleet != nil || s.Map != nil {
+			return JobSpec{}, fmt.Errorf("spec: kind %q with mismatched sub-spec", s.Kind)
+		}
+		f := Fig9JobSpec{}
+		if s.Fig9 != nil {
+			f = *s.Fig9
+		}
+		nf, err := f.normalize()
+		if err != nil {
+			return JobSpec{}, err
+		}
+		return JobSpec{Kind: "fig9", Fig9: &nf}, nil
+	case "map":
+		if s.Fleet != nil || s.Fig9 != nil {
+			return JobSpec{}, fmt.Errorf("spec: kind %q with mismatched sub-spec", s.Kind)
+		}
+		m := MapJobSpec{}
+		if s.Map != nil {
+			m = *s.Map
+		}
+		nm, err := m.normalize()
+		if err != nil {
+			return JobSpec{}, err
+		}
+		return JobSpec{Kind: "map", Map: &nm}, nil
+	case "":
+		return JobSpec{}, fmt.Errorf("spec: missing kind (fleet|fig9|map)")
+	default:
+		return JobSpec{}, fmt.Errorf("spec: unknown kind %q (fleet|fig9|map)", s.Kind)
+	}
+}
+
+func (f FleetJobSpec) normalize() (FleetJobSpec, error) {
+	if f.Scenario == "" {
+		f.Scenario = string(fleet.KindMixed)
+	}
+	if _, err := fleet.ParseKind(f.Scenario); err != nil {
+		return FleetJobSpec{}, fmt.Errorf("spec: %w", err)
+	}
+	switch {
+	case f.Sessions == 0:
+		f.Sessions = defaultSessions
+	case f.Sessions < 0:
+		return FleetJobSpec{}, fmt.Errorf("spec: sessions %d must be positive", f.Sessions)
+	case f.Sessions > maxFleetSessions:
+		return FleetJobSpec{}, fmt.Errorf("spec: sessions %d exceeds the limit of %d", f.Sessions, maxFleetSessions)
+	}
+	switch {
+	case f.DurationMS == 0:
+		f.DurationMS = defaultDurationMS
+	case f.DurationMS < 0:
+		return FleetJobSpec{}, fmt.Errorf("spec: duration_ms %d must be positive", f.DurationMS)
+	case f.DurationMS > maxFleetDuration:
+		return FleetJobSpec{}, fmt.Errorf("spec: duration_ms %d exceeds the limit of %d", f.DurationMS, maxFleetDuration)
+	}
+	switch {
+	case f.ReEvalMS == 0:
+		f.ReEvalMS = defaultReEvalMS
+	case f.ReEvalMS < 0:
+		return FleetJobSpec{}, fmt.Errorf("spec: reeval_ms %d must be positive", f.ReEvalMS)
+	case f.ReEvalMS < minFleetReEvalMS:
+		return FleetJobSpec{}, fmt.Errorf("spec: reeval_ms %d below the minimum of %d", f.ReEvalMS, minFleetReEvalMS)
+	}
+	if len(f.Variants) == 0 {
+		f.Variants = []string{"tracking"}
+	}
+	seen := map[string]bool{}
+	norm := make([]string, 0, len(f.Variants))
+	for _, v := range f.Variants {
+		if _, ok := variantNames[v]; !ok {
+			return FleetJobSpec{}, fmt.Errorf("spec: unknown variant %q (direct|static|reactive|tracking)", v)
+		}
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		norm = append(norm, v)
+	}
+	f.Variants = norm
+	// The session limit bounds actual work: the scenario set runs once
+	// per variant.
+	if total := f.Sessions * len(f.Variants); total > maxFleetSessions {
+		return FleetJobSpec{}, fmt.Errorf("spec: sessions %d × %d variants = %d exceeds the limit of %d",
+			f.Sessions, len(f.Variants), total, maxFleetSessions)
+	}
+	return f, nil
+}
+
+func (f Fig9JobSpec) normalize() (Fig9JobSpec, error) {
+	switch {
+	case f.Runs == 0:
+		f.Runs = 20
+	case f.Runs < 0:
+		return Fig9JobSpec{}, fmt.Errorf("spec: runs %d must be positive", f.Runs)
+	case f.Runs > maxFig9Runs:
+		return Fig9JobSpec{}, fmt.Errorf("spec: runs %d exceeds the limit of %d", f.Runs, maxFig9Runs)
+	}
+	switch {
+	case f.NLOSStepDeg == 0:
+		f.NLOSStepDeg = 2
+	case f.NLOSStepDeg < 0:
+		return Fig9JobSpec{}, fmt.Errorf("spec: nlos_step_deg must be positive")
+	case f.NLOSStepDeg < minFig9StepDeg:
+		return Fig9JobSpec{}, fmt.Errorf("spec: nlos_step_deg %g below the minimum of %g", f.NLOSStepDeg, minFig9StepDeg)
+	}
+	return f, nil
+}
+
+func (m MapJobSpec) normalize() (MapJobSpec, error) {
+	switch {
+	case m.GridStep == 0:
+		m.GridStep = 0.5
+	case m.GridStep < minMapGridStep:
+		return MapJobSpec{}, fmt.Errorf("spec: grid_step %g below the minimum of %g", m.GridStep, minMapGridStep)
+	}
+	return m, nil
+}
+
+// Hash returns the canonical spec hash — SHA-256 over the JSON encoding
+// of the normalized spec (struct field order is fixed, so the encoding
+// is canonical). Two submissions normalize to equal specs iff they hash
+// equal; the result cache keys on it.
+func (s JobSpec) Hash() (string, error) {
+	norm, err := s.Normalize()
+	if err != nil {
+		return "", err
+	}
+	return hashNormalized(norm)
+}
+
+// hashNormalized is the one place the canonical encoding is defined;
+// Hash and the scheduler's Submit both key through it.
+func hashNormalized(norm JobSpec) (string, error) {
+	raw, err := json.Marshal(norm)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// fleetDuration converts the wire milliseconds to the engine duration.
+func (f FleetJobSpec) fleetDuration() time.Duration {
+	return time.Duration(f.DurationMS) * time.Millisecond
+}
+
+func (f FleetJobSpec) reEvalPeriod() time.Duration {
+	return time.Duration(f.ReEvalMS) * time.Millisecond
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeFillsFleetDefaults(t *testing.T) {
+	norm, err := JobSpec{Kind: "fleet"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := norm.Fleet
+	if f == nil {
+		t.Fatal("nil fleet sub-spec after normalize")
+	}
+	if f.Scenario != "mixed" || f.Sessions != defaultSessions ||
+		f.DurationMS != defaultDurationMS || f.ReEvalMS != defaultReEvalMS {
+		t.Errorf("defaults not filled: %+v", f)
+	}
+	if len(f.Variants) != 1 || f.Variants[0] != "tracking" {
+		t.Errorf("variants = %v, want [tracking]", f.Variants)
+	}
+}
+
+func TestHashCanonicalization(t *testing.T) {
+	// A fully-defaulted spec and an explicitly-spelled-out equivalent
+	// must hash identically — that equality is what makes the result
+	// cache correct.
+	implicit := JobSpec{Kind: "fleet"}
+	explicit := JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{
+		Scenario:   "mixed",
+		Sessions:   defaultSessions,
+		DurationMS: defaultDurationMS,
+		ReEvalMS:   defaultReEvalMS,
+		Variants:   []string{"tracking"},
+	}}
+	h1, err := implicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("equivalent specs hash differently:\n%s\n%s", h1, h2)
+	}
+
+	other := JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Seed: 9}}
+	h3, err := other.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Error("different seeds hash identically")
+	}
+	if len(h1) != 64 {
+		t.Errorf("hash %q is not hex SHA-256", h1)
+	}
+}
+
+func TestNormalizeRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		want string
+	}{
+		{"missing kind", JobSpec{}, "missing kind"},
+		{"unknown kind", JobSpec{Kind: "warp"}, "unknown kind"},
+		{"mismatched subspec", JobSpec{Kind: "fig9", Fleet: &FleetJobSpec{}}, "mismatched"},
+		{"two subspecs", JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{}, Map: &MapJobSpec{}}, "more than one"},
+		{"bad scenario", JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "stadium"}}, "unknown scenario"},
+		{"negative sessions", JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Sessions: -1}}, "must be positive"},
+		{"too many sessions", JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Sessions: maxFleetSessions + 1}}, "exceeds"},
+		{"too long", JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{DurationMS: maxFleetDuration + 1}}, "exceeds"},
+		{"bad variant", JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Variants: []string{"quantum"}}}, "unknown variant"},
+		{"variants multiply past the cap", JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{
+			Sessions: maxFleetSessions, Variants: []string{"tracking", "direct"},
+		}}, "exceeds"},
+		{"reeval too fine", JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{ReEvalMS: 1}}, "below the minimum"},
+		{"negative runs", JobSpec{Kind: "fig9", Fig9: &Fig9JobSpec{Runs: -2}}, "must be positive"},
+		{"tiny nlos step", JobSpec{Kind: "fig9", Fig9: &Fig9JobSpec{NLOSStepDeg: 0.01}}, "below the minimum"},
+		{"tiny grid", JobSpec{Kind: "map", Map: &MapJobSpec{GridStep: 0.01}}, "grid_step"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.spec.Normalize()
+			if err == nil {
+				t.Fatalf("Normalize accepted %+v", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeDedupesVariants(t *testing.T) {
+	norm, err := JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{
+		Variants: []string{"tracking", "direct", "tracking"},
+	}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := norm.Fleet.Variants
+	if len(got) != 2 || got[0] != "tracking" || got[1] != "direct" {
+		t.Errorf("variants = %v, want [tracking direct]", got)
+	}
+}

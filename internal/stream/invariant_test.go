@@ -1,0 +1,108 @@
+// Report invariants, exercised end to end: every streaming session —
+// whatever the room, seed, or system variant — must produce an
+// internally consistent Report. The checks run against real seeded
+// sessions through the experiments layer (an external test package, so
+// no import cycle).
+package stream_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/movr-sim/movr/internal/experiments"
+	"github.com/movr-sim/movr/internal/stream"
+)
+
+func checkInvariants(t *testing.T, label string, rep stream.Report) {
+	t.Helper()
+	if rep.Frames <= 0 {
+		t.Fatalf("%s: no frames simulated", label)
+	}
+	if rep.Delivered+rep.Glitches != rep.Frames {
+		t.Errorf("%s: Delivered %d + Glitches %d != Frames %d",
+			label, rep.Delivered, rep.Glitches, rep.Frames)
+	}
+	if rep.TotalOutage < rep.LongestOutage {
+		t.Errorf("%s: TotalOutage %v < LongestOutage %v",
+			label, rep.TotalOutage, rep.LongestOutage)
+	}
+	if rep.Glitches == 0 {
+		if rep.TotalOutage != 0 || rep.LongestOutage != 0 {
+			t.Errorf("%s: no glitches but TotalOutage %v, LongestOutage %v",
+				label, rep.TotalOutage, rep.LongestOutage)
+		}
+	} else {
+		if rep.TotalOutage <= 0 || rep.LongestOutage <= 0 {
+			t.Errorf("%s: %d glitches but TotalOutage %v, LongestOutage %v",
+				label, rep.Glitches, rep.TotalOutage, rep.LongestOutage)
+		}
+	}
+	wantFrac := float64(rep.Glitches) / float64(rep.Frames)
+	if rep.GlitchFrac != wantFrac {
+		t.Errorf("%s: GlitchFrac %g != Glitches/Frames %g", label, rep.GlitchFrac, wantFrac)
+	}
+	if rep.Delivered == 0 && (rep.MeanLatency != 0 || rep.P99Latency != 0) {
+		t.Errorf("%s: nothing delivered but latencies %v/%v",
+			label, rep.MeanLatency, rep.P99Latency)
+	}
+}
+
+func TestReportInvariantsAcrossSeededSessions(t *testing.T) {
+	// A spread of rooms, seeds and variants: bare homes (typically
+	// glitch-free), the cluttered office (typically glitchy), and the
+	// no-reflector variant (heavily glitchy). The invariants must hold
+	// on every one.
+	var (
+		sawClean, sawGlitchy bool
+		reports              int
+	)
+	for _, seed := range []int64{1, 2, 3, 11} {
+		for _, tc := range []struct {
+			name    string
+			cfg     experiments.SessionConfig
+			variant experiments.SessionVariant
+		}{
+			{
+				name: "bare-home/tracking",
+				cfg: experiments.SessionConfig{
+					Seed: seed, Duration: 2 * time.Second,
+					RoomW: 4.5, RoomD: 4.5,
+				},
+				variant: experiments.VariantMoVRTracking,
+			},
+			{
+				name:    "office/tracking",
+				cfg:     experiments.SessionConfig{Seed: seed, Duration: 2 * time.Second},
+				variant: experiments.VariantMoVRTracking,
+			},
+			{
+				name:    "office/direct-only",
+				cfg:     experiments.SessionConfig{Seed: seed, Duration: 2 * time.Second},
+				variant: experiments.VariantDirectOnly,
+			},
+		} {
+			out, err := experiments.RunSessionVariant(tc.cfg, tc.variant)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, tc.name, err)
+			}
+			checkInvariants(t, tc.name, out.Report)
+			reports++
+			if out.Report.Glitches == 0 {
+				sawClean = true
+			} else {
+				sawGlitchy = true
+			}
+		}
+	}
+	// The matrix must exercise both sides of the zero-glitch branch,
+	// or the "both zero when no glitches" invariant was never tested.
+	if !sawClean {
+		t.Error("no session in the matrix was glitch-free; pick a friendlier config")
+	}
+	if !sawGlitchy {
+		t.Error("no session in the matrix glitched; pick a harsher config")
+	}
+	if reports != 12 {
+		t.Fatalf("ran %d sessions, want 12", reports)
+	}
+}

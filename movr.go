@@ -184,6 +184,11 @@ type (
 
 	// FleetScenarioConfig tunes the fleet scenario generators.
 	FleetScenarioConfig = fleet.ScenarioConfig
+
+	// FleetScenarioKind names a scenario generator
+	// (mixed|arcade|home|dense) — the shared vocabulary of the movrsim
+	// -scenario flag and the movrd job API.
+	FleetScenarioKind = fleet.Kind
 )
 
 // Construction helpers.
@@ -377,6 +382,16 @@ var (
 
 	// ArcadeFleetN sizes four-player arcade bays for exactly n sessions.
 	ArcadeFleetN = fleet.ArcadeN
+
+	// ParseFleetScenario validates a scenario name and returns its
+	// FleetScenarioKind; kind.Specs(n, cfg) generates the deterministic
+	// spec set and kind.Title() the report banner.
+	ParseFleetScenario = fleet.ParseKind
+
+	// FleetScenarioKinds lists the recognised scenario kinds in menu
+	// order; FleetScenarioNames renders them for usage strings.
+	FleetScenarioKinds = fleet.Kinds
+	FleetScenarioNames = fleet.KindNames
 )
 
 // HeatmapConfig and HeatmapResult parameterize and report the coverage

@@ -1,0 +1,72 @@
+#!/usr/bin/env sh
+# Smoke-test the movrd daemon end to end: build it, start it on an
+# ephemeral port, poll /healthz, submit a tiny fleet job, resubmit the
+# same spec, and assert the second answer is a cache hit with the same
+# result hash. `make serve` and the CI movrd-smoke step both run this.
+set -eu
+
+workdir="$(mktemp -d)"
+log="$workdir/movrd.log"
+cleanup() {
+    [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "movrd-smoke: building"
+go build -o "$workdir/movrd" ./cmd/movrd
+
+"$workdir/movrd" -addr 127.0.0.1:0 -workers 2 >"$log" 2>&1 &
+pid=$!
+
+# The daemon logs "listening on <addr>" with the resolved port.
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr="$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$log" | head -n 1)"
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "movrd-smoke: daemon died:"; cat "$log"; exit 1; }
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "movrd-smoke: never saw the listen line:"; cat "$log"; exit 1; }
+echo "movrd-smoke: daemon at $addr"
+
+fail() {
+    echo "movrd-smoke: FAIL: $1"
+    echo "--- daemon log ---"
+    cat "$log"
+    exit 1
+}
+
+code="$(curl -s -o "$workdir/health" -w '%{http_code}' "http://$addr/healthz")"
+[ "$code" = 200 ] || fail "/healthz returned $code"
+echo "movrd-smoke: /healthz ok"
+
+spec='{"kind":"fleet","fleet":{"scenario":"home","sessions":2,"seed":42,"duration_ms":300}}'
+
+code="$(curl -s -D "$workdir/h1" -o "$workdir/r1" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' -d "$spec" \
+    "http://$addr/v1/jobs?wait=1")"
+[ "$code" = 200 ] || fail "first submit returned $code: $(cat "$workdir/r1")"
+grep -qi '^x-movr-cache: miss' "$workdir/h1" || fail "first submit was not a cache miss"
+echo "movrd-smoke: first submit ok (miss)"
+
+code="$(curl -s -D "$workdir/h2" -o "$workdir/r2" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' -d "$spec" \
+    "http://$addr/v1/jobs?wait=1")"
+[ "$code" = 200 ] || fail "resubmit returned $code"
+grep -qi '^x-movr-cache: hit' "$workdir/h2" || fail "resubmit was not a cache hit"
+
+sha1="$(sed -n 's/.*"result_sha256": "\([0-9a-f]*\)".*/\1/p' "$workdir/r1" | head -n 1)"
+sha2="$(sed -n 's/.*"result_sha256": "\([0-9a-f]*\)".*/\1/p' "$workdir/r2" | head -n 1)"
+[ -n "$sha1" ] || fail "no result_sha256 in first response"
+[ "$sha1" = "$sha2" ] || fail "result hashes differ: $sha1 vs $sha2"
+echo "movrd-smoke: resubmit ok (hit, result sha $sha1)"
+
+curl -s "http://$addr/metrics" >"$workdir/metrics"
+grep -q '^movrd_cache_hits_total 1$' "$workdir/metrics" || fail "/metrics does not report the cache hit"
+grep -q '^movrd_jobs_done_total 2$' "$workdir/metrics" || fail "/metrics does not report both jobs done"
+echo "movrd-smoke: /metrics reports the cache hit"
+
+echo "movrd-smoke: PASS"
