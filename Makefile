@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build build-cmds vet fmt-check test race bench serve ci
+.PHONY: build build-cmds vet fmt-check test race bench bench-suite bench-gate bench-baseline serve ci
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,25 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Run the named perf suite and write BENCH_<git-sha>.json (see the
+# README's "Performance workflow" section). `go run` embeds no VCS
+# revision, so the sha is passed explicitly.
+bench-suite:
+	MOVR_GIT_SHA=$$(git rev-parse --short=12 HEAD) $(GO) run ./cmd/movrsim bench
+
+# Run the suite fresh and gate it against the committed baseline — the
+# CI bench-gate job. Tune with BENCH_TOL_PCT / BENCH_ALLOC_TOL.
+bench-gate:
+	sh scripts/bench_gate.sh
+
+# Re-baseline after an intentional perf change: regenerate
+# BENCH_baseline.json and commit it with the change that justified it.
+bench-baseline:
+	MOVR_GIT_SHA=$$(git rev-parse --short=12 HEAD) $(GO) run ./cmd/movrsim bench -bench-out BENCH_baseline.json
+
 # Start movrd, poll /healthz, submit a tiny fleet job, and assert the
 # resubmission is a byte-identical cache hit — the CI movrd-smoke step.
 serve:
 	sh scripts/movrd_smoke.sh
 
-ci: build build-cmds vet fmt-check test race bench serve
+ci: build build-cmds vet fmt-check test race bench serve bench-gate

@@ -184,6 +184,23 @@ func BenchmarkTracer(b *testing.B) {
 	}
 }
 
+// BenchmarkTracerInto measures the same trace through the scratch-buffer
+// API — the steady-state hot path, which performs zero heap allocations
+// once the buffer has warmed up (compare allocs/op with BenchmarkTracer).
+func BenchmarkTracerInto(b *testing.B) {
+	world := movr.NewWorld(2)
+	tx, rx := movr.V(0.5, 0.5), movr.V(4.2, 3.7)
+	world.Room.AddObstacle(movr.Hand(movr.V(2.2, 2.0)))
+	var buf []movr.Path
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = world.Tracer.TraceInto(buf[:0], tx, rx)
+		if len(buf) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
 // BenchmarkAlignmentMeasurement measures one backscatter sideband
 // measurement (synthesize + FFT + integrate).
 func BenchmarkAlignmentMeasurement(b *testing.B) {

@@ -18,7 +18,8 @@
 //	map        room coverage heatmaps with and without MoVR
 //	ablations  design-choice ablation tables
 //	fleet      N concurrent sessions across diverse deployments
-//	all        everything above, in paper order
+//	bench      performance suite → BENCH_<git-sha>.json (perf workflow)
+//	all        everything above (except bench), in paper order
 //
 // Flags:
 //
@@ -28,6 +29,13 @@
 //	-workers N    worker-pool size for fleet, fig9 and map (0 = all cores)
 //	-sessions N   fleet session count (default 24)
 //	-scenario S   fleet scenario: mixed|arcade|home|dense (default mixed)
+//
+// Bench flags (see the README's "Performance workflow" section):
+//
+//	-bench-out P        report path (default BENCH_<git-sha>.json)
+//	-bench-compare P    baseline to gate against (e.g. BENCH_baseline.json)
+//	-bench-tol-pct F    allowed ns/op regression in percent (default 50)
+//	-bench-alloc-tol F  allowed allocs/op regression (default 0)
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"time"
 
 	movr "github.com/movr-sim/movr"
+	"github.com/movr-sim/movr/internal/bench"
 )
 
 func main() {
@@ -47,6 +56,10 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size for fleet, fig9 and map (0 = all cores)")
 	sessions := flag.Int("sessions", 24, "fleet session count")
 	scenario := flag.String("scenario", "mixed", "fleet scenario: mixed|arcade|home|dense")
+	benchOut := flag.String("bench-out", "", "bench report path (default BENCH_<git-sha>.json)")
+	benchCompare := flag.String("bench-compare", "", "baseline BENCH_*.json to gate against")
+	benchTolPct := flag.Float64("bench-tol-pct", 50, "allowed ns/op regression in percent")
+	benchAllocTol := flag.Float64("bench-alloc-tol", 0, "allowed allocs/op regression")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -92,6 +105,8 @@ func main() {
 		runAblations(*seed)
 	case "fleet":
 		runFleet(*seed, *workers, *sessions, kind, *fast)
+	case "bench":
+		runBench(*benchOut, *benchCompare, *benchTolPct, *benchAllocTol, *fast)
 	case "all":
 		runFig3(*seed, *runs, *fast)
 		fmt.Println()
@@ -125,7 +140,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `movrsim — MoVR (HotNets'16) evaluation reproduction
 
-usage: movrsim [flags] <fig3|fig7|fig8|fig9|battery|latency|session|deployment|map|ablations|fleet|all>
+usage: movrsim [flags] <fig3|fig7|fig8|fig9|battery|latency|session|deployment|map|ablations|fleet|bench|all>
 
 flags:
 `)
@@ -211,6 +226,44 @@ func runFleet(seed int64, workers, sessions int, kind movr.FleetScenarioKind, fa
 		os.Exit(1)
 	}
 	fmt.Print(res.Render(kind.Title()))
+}
+
+// runBench executes the named performance suite, writes the
+// schema-versioned BENCH_<sha>.json report, and — when a baseline is
+// given — gates the fresh numbers against it, exiting 1 on regression.
+func runBench(outPath, comparePath string, tolPct, allocTol float64, fast bool) {
+	rep, err := bench.Run(bench.Suite(), bench.Options{
+		Fast: fast,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "movrsim: bench: %v\n", err)
+		os.Exit(1)
+	}
+	if outPath == "" {
+		outPath = rep.FileName()
+	}
+	if err := rep.WriteFile(outPath); err != nil {
+		fmt.Fprintf(os.Stderr, "movrsim: bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Render())
+	fmt.Fprintf(os.Stderr, "bench: report written to %s\n", outPath)
+	if comparePath == "" {
+		return
+	}
+	base, err := bench.ReadFile(comparePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "movrsim: bench: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	cmp := bench.Compare(base, rep, bench.Tolerance{TimePct: tolPct, Allocs: allocTol})
+	fmt.Print(cmp.Render())
+	if !cmp.OK() {
+		os.Exit(1)
+	}
 }
 
 func runAblations(seed int64) {

@@ -39,7 +39,16 @@
 //     backpressure, a deterministic result cache keyed by a canonical
 //     spec hash (repeat submissions return byte-identical JSON
 //     instantly), and Prometheus metrics on /metrics. See the README's
-//     "Serving simulations" section for the API walkthrough.
+//     "Serving simulations" section for the API walkthrough;
+//   - a performance subsystem (internal/bench, `movrsim bench`): the
+//     channel tracer and the link manager's tracking step run
+//     allocation-free in steady state (TraceInto/TraceHInto reuse
+//     caller-retained path buffers over per-wall transforms precomputed
+//     at NewTracer time, golden-tested bit-identical to the original
+//     tracer), and a named benchmark suite writes schema-versioned
+//     BENCH_<git-sha>.json reports that scripts/bench_gate.sh compares
+//     against the committed BENCH_baseline.json in CI, failing on
+//     regressions. See the README's "Performance workflow" section.
 //
 // # Quick start
 //

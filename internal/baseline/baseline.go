@@ -44,6 +44,19 @@ type OptNLOSResult struct {
 // steering before returning; apply the winning beams from the result if
 // you want to operate there.
 func OptNLOS(tr *channel.Tracer, tx, rx *radio.Radio, stepDeg float64) OptNLOSResult {
+	res, _ := OptNLOSBuf(tr, tx, rx, stepDeg, nil)
+	return res
+}
+
+// OptNLOSBuf is OptNLOS with a caller-retained tracer scratch buffer
+// (channel.Tracer.TraceHInto semantics): the trace writes into scratch's
+// storage and the possibly-grown buffer is returned for reuse, so a
+// caller sweeping many placements allocates nothing per call. The sweep
+// itself evaluates the traced paths in place — reflected paths are
+// skipped by kind rather than copied into a filtered slice — which is
+// both the allocation saving and bit-identical to the historical
+// filter-then-combine arithmetic.
+func OptNLOSBuf(tr *channel.Tracer, tx, rx *radio.Radio, stepDeg float64, scratch []channel.Path) (OptNLOSResult, []channel.Path) {
 	txOrient, txSteer := tx.Array.OrientationDeg(), tx.Array.SteeringDeg()
 	rxOrient, rxSteer := rx.Array.OrientationDeg(), rx.Array.SteeringDeg()
 	defer func() {
@@ -52,16 +65,16 @@ func OptNLOS(tr *channel.Tracer, tx, rx *radio.Radio, stepDeg float64) OptNLOSRe
 		rx.Array.SetOrientation(rxOrient)
 		rx.SteerTo(rxSteer)
 	}()
-	paths := tr.TraceH(tx.Pos, rx.Pos, tx.HeightM, rx.HeightM)
-	var reflected []channel.Path
-	for _, p := range paths {
+	scratch = tr.TraceHInto(scratch[:0], tx.Pos, rx.Pos, tx.HeightM, rx.HeightM)
+	reflected := 0
+	for _, p := range scratch {
 		if p.Kind == channel.Reflected {
-			reflected = append(reflected, p)
+			reflected++
 		}
 	}
 	res := OptNLOSResult{SNRdB: math.Inf(-1)}
-	if len(reflected) == 0 {
-		return res
+	if reflected == 0 {
+		return res, scratch
 	}
 	if stepDeg <= 0 {
 		stepDeg = 1
@@ -73,7 +86,7 @@ func OptNLOS(tr *channel.Tracer, tx, rx *radio.Radio, stepDeg float64) OptNLOSRe
 			rx.Array.SetOrientation(rxBeam)
 			rx.SteerTo(rxBeam)
 			res.Combos++
-			snr := tx.Budget.CombinedSNRdB(reflected, tx.Array, rx.Array)
+			snr := tx.Budget.CombinedSNRdBOfKind(scratch, channel.Reflected, tx.Array, rx.Array)
 			if snr > res.SNRdB {
 				res.SNRdB = snr
 				res.TXBeamDeg = txBeam
@@ -81,7 +94,7 @@ func OptNLOS(tr *channel.Tracer, tx, rx *radio.Radio, stepDeg float64) OptNLOSRe
 			}
 		}
 	}
-	return res
+	return res, scratch
 }
 
 // StaticWHDI models a wireless-HDMI link: beams are aligned once, at

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinySpec is a fast deterministic benchmark for harness tests.
+func tinySpec(name string) Spec {
+	sink := 0.0
+	return Spec{
+		Name:      name,
+		Warmup:    1,
+		Reps:      5,
+		OpsPerRep: 10,
+		Op: func() error {
+			for i := 0; i < 10; i++ {
+				sink += math.Sqrt(float64(i))
+			}
+			return nil
+		},
+	}
+}
+
+func TestRunAndRoundTrip(t *testing.T) {
+	rep, err := Run([]Spec{tinySpec("micro/sqrt")}, Options{GitSHA: "deadbeefcafe0123"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		t.Errorf("schema = %d, want %d", rep.SchemaVersion, SchemaVersion)
+	}
+	if rep.GitSHA != "deadbeefcafe" {
+		t.Errorf("git sha = %q, want 12-char truncation", rep.GitSHA)
+	}
+	if rep.FileName() != "BENCH_deadbeefcafe.json" {
+		t.Errorf("file name = %q", rep.FileName())
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %d, want 1", len(rep.Benchmarks))
+	}
+	res := rep.Benchmarks[0]
+	if res.Reps != 5 || res.OpsPerRep != 10 {
+		t.Errorf("reps/ops = %d/%d, want 5/10", res.Reps, res.OpsPerRep)
+	}
+	if res.NsPerOp <= 0 || res.P95Ns < res.P50Ns {
+		t.Errorf("suspicious timings: %+v", res)
+	}
+
+	path := filepath.Join(t.TempDir(), rep.FileName())
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.GitSHA != rep.GitSHA || len(back.Benchmarks) != 1 || back.Benchmarks[0] != res {
+		t.Errorf("round trip mismatch: %+v vs %+v", back, rep)
+	}
+	if !strings.Contains(rep.Render(), "micro/sqrt") {
+		t.Error("Render omits the benchmark name")
+	}
+}
+
+func TestGitSHAFromEnv(t *testing.T) {
+	t.Setenv("MOVR_GIT_SHA", "0123456789abcdef")
+	if got := (Options{}).gitSHA(); got != "0123456789ab" {
+		t.Errorf("env sha = %q", got)
+	}
+}
+
+func report(results ...Result) Report {
+	return Report{SchemaVersion: SchemaVersion, Benchmarks: results}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := report(Result{Name: "a", NsPerOp: 1000, AllocsPerOp: 2})
+	fresh := report(Result{Name: "a", NsPerOp: 1400, AllocsPerOp: 2})
+	c := Compare(base, fresh, DefaultTolerance())
+	if !c.OK() {
+		t.Fatalf("within-tolerance run failed: %v", c.Regressions)
+	}
+}
+
+func TestCompareTimeRegressionFails(t *testing.T) {
+	base := report(Result{Name: "a", NsPerOp: 1000})
+	fresh := report(Result{Name: "a", NsPerOp: 1600})
+	c := Compare(base, fresh, DefaultTolerance())
+	if c.OK() {
+		t.Fatal("60% slowdown passed a 50% gate")
+	}
+}
+
+func TestCompareAllocRegressionFails(t *testing.T) {
+	base := report(Result{Name: "a", NsPerOp: 1000, AllocsPerOp: 0})
+	fresh := report(Result{Name: "a", NsPerOp: 1000, AllocsPerOp: 1})
+	c := Compare(base, fresh, DefaultTolerance())
+	if c.OK() {
+		t.Fatal("new allocation passed a zero-alloc gate")
+	}
+	// An explicit allowance admits it.
+	if c := Compare(base, fresh, Tolerance{TimePct: 50, Allocs: 1}); !c.OK() {
+		t.Fatalf("allowance of 1 alloc still failed: %v", c.Regressions)
+	}
+}
+
+func TestCompareAllocSlackIsCapped(t *testing.T) {
+	// Scheduling jitter on a macro benchmark passes...
+	base := report(Result{Name: "fleet", NsPerOp: 1, AllocsPerOp: 1028})
+	fresh := report(Result{Name: "fleet", NsPerOp: 1, AllocsPerOp: 1028.4})
+	if c := Compare(base, fresh, DefaultTolerance()); !c.OK() {
+		t.Fatalf("jitter failed the gate: %v", c.Regressions)
+	}
+	// ...but a real regression of a few allocs/op does not hide in the
+	// 1% relative margin: the slack is capped at ~2 allocs/op.
+	fresh.Benchmarks[0].AllocsPerOp = 1033
+	if c := Compare(base, fresh, DefaultTolerance()); c.OK() {
+		t.Fatal("+5 allocs/op passed a zero-tolerance gate")
+	}
+}
+
+func TestCompareTimeNotEnforcedAcrossHostShapes(t *testing.T) {
+	base := report(Result{Name: "a", NsPerOp: 1000})
+	base.CPUs = 1
+	fresh := report(Result{Name: "a", NsPerOp: 5000})
+	fresh.CPUs = 4
+	c := Compare(base, fresh, DefaultTolerance())
+	if !c.OK() {
+		t.Fatalf("time bound enforced across differing host shapes: %v", c.Regressions)
+	}
+	if len(c.Notes) == 0 {
+		t.Error("cross-host time excess not noted")
+	}
+	// Allocs stay strict regardless of host shape.
+	fresh.Benchmarks[0].AllocsPerOp = 3
+	if c := Compare(base, fresh, DefaultTolerance()); c.OK() {
+		t.Fatal("alloc regression passed under host-shape mismatch")
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := report(Result{Name: "a"}, Result{Name: "b"})
+	fresh := report(Result{Name: "a"})
+	if c := Compare(base, fresh, DefaultTolerance()); c.OK() {
+		t.Fatal("shrunken suite passed the gate")
+	}
+}
+
+func TestCompareNewBenchmarkIsNoted(t *testing.T) {
+	base := report(Result{Name: "a"})
+	fresh := report(Result{Name: "a"}, Result{Name: "b"})
+	c := Compare(base, fresh, DefaultTolerance())
+	if !c.OK() {
+		t.Fatalf("new benchmark failed the gate: %v", c.Regressions)
+	}
+	if len(c.Notes) == 0 {
+		t.Error("new benchmark not noted")
+	}
+}
+
+func TestCompareSchemaMismatchFails(t *testing.T) {
+	base := report()
+	base.SchemaVersion = SchemaVersion + 1
+	if c := Compare(base, report(), DefaultTolerance()); c.OK() {
+		t.Fatal("schema mismatch passed the gate")
+	}
+}
+
+// TestSuiteShape pins the named suite: the stable benchmark names the
+// committed baseline keys on.
+func TestSuiteShape(t *testing.T) {
+	want := []string{
+		"tracer/office2b", "linkmgr/step", "fig9/trial",
+		"fleet/mixed", "fleet/arcade", "fleet/home", "fleet/dense",
+		"movrd/submit",
+	}
+	suite := Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite size = %d, want %d", len(suite), len(want))
+	}
+	for i, sp := range suite {
+		if sp.Name != want[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, sp.Name, want[i])
+		}
+		if sp.Reps <= 0 || sp.Op == nil {
+			t.Errorf("suite[%d] %q has no work", i, sp.Name)
+		}
+	}
+}
+
+// TestSuiteTracerRuns executes the cheapest real suite entries end to
+// end (fast mode) so a broken benchmark cannot reach CI unnoticed.
+func TestSuiteTracerRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ops per rep; skip in -short")
+	}
+	var specs []Spec
+	for _, sp := range Suite() {
+		if sp.Name == "tracer/office2b" || sp.Name == "linkmgr/step" {
+			specs = append(specs, sp)
+		}
+	}
+	rep, err := Run(specs, Options{Fast: true, GitSHA: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Benchmarks {
+		if res.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %v", res.Name, res.NsPerOp)
+		}
+		// The tentpole promise: the tracer and tracking step hot paths
+		// are allocation-free in steady state (small slack for runtime
+		// background allocations landing in the measured window).
+		if res.AllocsPerOp > 0.05 {
+			t.Errorf("%s: allocs/op = %.3f, want ~0", res.Name, res.AllocsPerOp)
+		}
+	}
+}

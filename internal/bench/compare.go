@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tolerance bounds how much a fresh run may regress against the
+// baseline before the gate fails.
+type Tolerance struct {
+	// TimePct is the allowed ns/op increase in percent. Wall time is
+	// machine-sensitive, so the gate default is generous (50) — large
+	// enough to absorb CI-runner noise, small enough to catch a hot path
+	// going quadratic.
+	TimePct float64
+
+	// Allocs is the allowed absolute allocs/op increase. Allocation
+	// counts are machine-independent, so the default is 0: a hot path
+	// that starts allocating fails the gate outright.
+	Allocs float64
+}
+
+// DefaultTolerance returns the gate defaults.
+func DefaultTolerance() Tolerance { return Tolerance{TimePct: 50, Allocs: 0} }
+
+// allocNoiseFloor absorbs background runtime allocations (timer wheel,
+// GC bookkeeping) that occasionally land inside a measured window and
+// show up as milli-allocs per op in batched micro-benchmarks. A real
+// regression adds at least one allocation per operation — orders of
+// magnitude above this floor.
+const allocNoiseFloor = 0.01
+
+// allocSlack is the noise margin of an alloc comparison against baseline
+// value ba: the absolute floor plus 1% relative capped at 2 allocs/op.
+// The relative term absorbs the goroutine-scheduling jitter of the macro
+// benchmarks (a fraction of an alloc in a thousand); the cap keeps the
+// guarantee tight — a real regression adds at least one allocation per
+// step, and every macro benchmark runs tens of steps per op.
+func allocSlack(ba float64) float64 {
+	rel := 0.01 * ba
+	if rel > 2 {
+		rel = 2
+	}
+	return allocNoiseFloor + rel
+}
+
+// Comparison is the outcome of holding a fresh report against a
+// baseline.
+type Comparison struct {
+	// Regressions fails the gate: one line per violated bound.
+	Regressions []string
+
+	// Notes are informational (new benchmarks, improvements).
+	Notes []string
+}
+
+// OK reports whether the fresh run passed.
+func (c Comparison) OK() bool { return len(c.Regressions) == 0 }
+
+// Render formats the comparison for terminals.
+func (c Comparison) Render() string {
+	var b strings.Builder
+	for _, n := range c.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	for _, r := range c.Regressions {
+		fmt.Fprintf(&b, "REGRESSION: %s\n", r)
+	}
+	if c.OK() {
+		b.WriteString("bench gate: PASS\n")
+	} else {
+		fmt.Fprintf(&b, "bench gate: FAIL (%d regressions)\n", len(c.Regressions))
+	}
+	return b.String()
+}
+
+// Compare holds fresh against baseline under the tolerance. Every
+// baseline benchmark must be present in fresh (a shrunken suite cannot
+// silently pass); benchmarks new in fresh are noted, not gated.
+func Compare(baseline, fresh Report, tol Tolerance) Comparison {
+	var c Comparison
+	if baseline.SchemaVersion != fresh.SchemaVersion {
+		c.Regressions = append(c.Regressions, fmt.Sprintf(
+			"schema version mismatch: baseline v%d vs fresh v%d — re-baseline with `movrsim bench`",
+			baseline.SchemaVersion, fresh.SchemaVersion))
+		return c
+	}
+	// Wall-time bounds only mean what they say when baseline and fresh
+	// ran on comparable hardware. On a host-shape mismatch the ns/op
+	// comparisons are demoted to advisory notes — a baseline from a
+	// developer laptop must not hard-fail CI runners (or vice versa) —
+	// while the machine-independent allocs/op gate stays strict. Commit
+	// a baseline generated on gate-class hardware to arm the time gate.
+	enforceTime := baseline.CPUs == fresh.CPUs &&
+		baseline.GOOS == fresh.GOOS && baseline.GOARCH == fresh.GOARCH
+	if !enforceTime {
+		c.Notes = append(c.Notes, fmt.Sprintf(
+			"host shape differs from baseline (%d CPUs %s/%s vs %d CPUs %s/%s): ns/op bounds reported but not enforced — re-baseline on gate-class hardware to arm the time gate",
+			fresh.CPUs, fresh.GOOS, fresh.GOARCH, baseline.CPUs, baseline.GOOS, baseline.GOARCH))
+	}
+	freshByName := make(map[string]Result, len(fresh.Benchmarks))
+	for _, r := range fresh.Benchmarks {
+		freshByName[r.Name] = r
+	}
+	baseNames := make(map[string]bool, len(baseline.Benchmarks))
+	for _, base := range baseline.Benchmarks {
+		baseNames[base.Name] = true
+		got, ok := freshByName[base.Name]
+		if !ok {
+			c.Regressions = append(c.Regressions, fmt.Sprintf(
+				"%s: present in baseline but missing from the fresh run", base.Name))
+			continue
+		}
+		if limit := base.NsPerOp * (1 + tol.TimePct/100); got.NsPerOp > limit {
+			msg := fmt.Sprintf(
+				"%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%% (limit %.0f)",
+				base.Name, got.NsPerOp, base.NsPerOp, tol.TimePct, limit)
+			if enforceTime {
+				c.Regressions = append(c.Regressions, msg)
+			} else {
+				c.Notes = append(c.Notes, msg+" [not enforced: host shape differs]")
+			}
+		}
+		if ga, ba := got.AllocsPerOp, base.AllocsPerOp; ga > ba+tol.Allocs+allocSlack(ba) {
+			c.Regressions = append(c.Regressions, fmt.Sprintf(
+				"%s: %.2f allocs/op exceeds baseline %.2f (+%.2f allowed)",
+				base.Name, ga, ba, tol.Allocs+allocSlack(ba)))
+		}
+		if base.NsPerOp > 0 && got.NsPerOp < base.NsPerOp*0.8 {
+			c.Notes = append(c.Notes, fmt.Sprintf(
+				"%s: improved %.0f → %.0f ns/op; consider re-baselining",
+				base.Name, base.NsPerOp, got.NsPerOp))
+		}
+	}
+	for _, r := range fresh.Benchmarks {
+		if !baseNames[r.Name] {
+			c.Notes = append(c.Notes, fmt.Sprintf(
+				"%s: new benchmark (not in baseline, not gated)", r.Name))
+		}
+	}
+	return c
+}

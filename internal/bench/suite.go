@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"github.com/movr-sim/movr/internal/antenna"
+	"github.com/movr-sim/movr/internal/channel"
+	"github.com/movr-sim/movr/internal/control"
+	"github.com/movr-sim/movr/internal/experiments"
+	"github.com/movr-sim/movr/internal/fleet"
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/linkmgr"
+	"github.com/movr-sim/movr/internal/radio"
+	"github.com/movr-sim/movr/internal/reflector"
+	"github.com/movr-sim/movr/internal/room"
+	"github.com/movr-sim/movr/internal/server"
+)
+
+// suiteWorkers pins the worker-pool width every parallel benchmark uses,
+// so reports from machines with different core counts stay comparable.
+const suiteWorkers = 2
+
+// Suite returns the named benchmark suite in report order. Benchmark
+// workloads are fixed — Options.Fast trims only repetition counts — so
+// any two reports compare per-op like for like.
+func Suite() []Spec {
+	specs := []Spec{tracerSpec(), linkmgrSpec(), fig9Spec()}
+	for _, kind := range fleet.Kinds {
+		specs = append(specs, fleetSpec(kind))
+	}
+	return append(specs, movrdSpec())
+}
+
+// tracerSpec measures one steady-state TraceHInto in the furnished
+// office at full reflection order with two blockers standing — the
+// innermost loop of every experiment, which the tentpole refactor made
+// allocation-free.
+func tracerSpec() Spec {
+	rm := room.NewOffice5x5()
+	rm.AddObstacle(room.Hand(geom.V(2.2, 2.0)))
+	rm.AddObstacle(room.Body(geom.V(3.1, 3.4)))
+	budget := channel.DefaultBudget()
+	tr := channel.NewTracer(rm, budget.FreqHz, 2)
+	tx, rx := geom.V(0.5, 0.5), geom.V(4.2, 3.7)
+	var buf []channel.Path
+	return Spec{
+		Name:      "tracer/office2b",
+		Warmup:    5,
+		Reps:      30,
+		OpsPerRep: 2000,
+		Op: func() error {
+			for i := 0; i < 2000; i++ {
+				buf = tr.TraceHInto(buf[:0], tx, rx, channel.HeightAPM, channel.HeightHeadsetM)
+			}
+			if len(buf) == 0 {
+				return fmt.Errorf("no paths traced")
+			}
+			return nil
+		},
+	}
+}
+
+// linkmgrSpec measures one pose-tracking controller step (direct +
+// reflector evaluation including gain control) — the per-timestep cost of
+// every live session.
+func linkmgrSpec() Spec {
+	rm := room.NewOffice5x5()
+	rm.AddObstacle(room.Body(geom.V(2.4, 2.6)))
+	budget := channel.DefaultBudget()
+	tr := channel.NewTracer(rm, budget.FreqHz, 1)
+	ap := radio.NewAP(geom.V(0.4, 0.4), antenna.Default(45), budget)
+	hs := radio.NewHeadset(geom.V(3.4, 2.4), antenna.Default(60), budget)
+	mgr := linkmgr.New(tr, ap, hs)
+	dev := reflector.Default(geom.V(4.6, 4.6), 225)
+	link := control.NewLink(reflector.NewController(dev), 0, 0, 1)
+	idx := mgr.AddReflector(dev, link)
+	step := 0
+	return Spec{
+		Name:      "linkmgr/step",
+		Warmup:    3,
+		Reps:      20,
+		OpsPerRep: 50,
+		Setup: func() (func(), error) {
+			return nil, mgr.AlignFromGeometry(idx)
+		},
+		Op: func() error {
+			for i := 0; i < 50; i++ {
+				step++
+				st := mgr.Step(geom.V(3.4, 2.4), float64(40+step%40))
+				if st.SNRdB == 0 {
+					return fmt.Errorf("no link state")
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// fig9Spec measures a reduced Fig 9 trial set (the §5.2 SNR-improvement
+// study): placement, LOS read, Opt-NLOS sweep, and MoVR reflector
+// evaluation per trial.
+func fig9Spec() Spec {
+	cfg := experiments.Fig9Config{Runs: 2, NLOSStepDeg: 6, Seed: 1, Workers: 1}
+	return Spec{
+		Name:   "fig9/trial",
+		Warmup: 2,
+		Reps:   10,
+		Op: func() error {
+			res, err := experiments.Fig9Context(context.Background(), cfg)
+			if err != nil {
+				return err
+			}
+			if len(res.MoVRImp) != cfg.Runs {
+				return fmt.Errorf("trial count = %d, want %d", len(res.MoVRImp), cfg.Runs)
+			}
+			return nil
+		},
+	}
+}
+
+// fleetSpec measures a small fleet run of the given scenario kind: spec
+// generation plus concurrent session simulation and aggregation.
+func fleetSpec(kind fleet.Kind) Spec {
+	cfg := fleet.ScenarioConfig{
+		Seed:         1,
+		Duration:     500 * time.Millisecond,
+		ReEvalPeriod: 50 * time.Millisecond,
+	}
+	specs := kind.Specs(4, cfg)
+	return Spec{
+		Name:   "fleet/" + string(kind),
+		Warmup: 2,
+		Reps:   10,
+		Op: func() error {
+			res, err := fleet.Run(context.Background(), specs, fleet.Config{Workers: suiteWorkers})
+			if err != nil {
+				return err
+			}
+			if res.Agg.Sessions != len(specs) {
+				return fmt.Errorf("sessions = %d, want %d", res.Agg.Sessions, len(specs))
+			}
+			return nil
+		},
+	}
+}
+
+// movrdSpec measures the daemon's submit→result round trip in process:
+// spec decode, normalization and hashing, scheduling onto the shared
+// pool, fleet execution, result encoding — everything but the TCP socket.
+// Every repetition submits a distinct seed, so the result cache never
+// short-circuits the work being measured.
+func movrdSpec() Spec {
+	var srv *server.Server
+	seed := 0
+	return Spec{
+		Name:   "movrd/submit",
+		Warmup: 2,
+		Reps:   10,
+		Setup: func() (func(), error) {
+			srv = server.New(server.Options{Workers: suiteWorkers})
+			return srv.Close, nil
+		},
+		Op: func() error {
+			seed++
+			body := fmt.Sprintf(
+				`{"kind":"fleet","fleet":{"scenario":"home","sessions":2,"seed":%d,"duration_ms":200}}`, seed)
+			req := httptest.NewRequest("POST", "/v1/jobs?wait=1", strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				return fmt.Errorf("submit returned %d: %s", rec.Code, rec.Body.String())
+			}
+			var view struct {
+				State  string `json:"state"`
+				Cached bool   `json:"cached"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+				return err
+			}
+			if view.State != "done" {
+				return fmt.Errorf("job state = %q, want done", view.State)
+			}
+			if view.Cached {
+				return fmt.Errorf("job unexpectedly served from cache")
+			}
+			return nil
+		},
+	}
+}

@@ -9,6 +9,18 @@
 // a hand/head/body costs 14-30 dB; and falling back to wall reflections
 // costs ~16 dB because "walls are not perfect reflectors" and reflected
 // paths are longer.
+//
+// # Hot-path API
+//
+// Tracing runs on every simulation timestep of every session, so the
+// tracer is built for allocation-free steady state: NewTracer precomputes
+// the per-wall mirror-image transforms and material losses once, and the
+// TraceInto/TraceHInto entry points write into a caller-retained []Path
+// scratch buffer, reusing both the slice and the per-path Points backing
+// arrays on every call. Trace/TraceH remain as thin allocating wrappers
+// for callers that do not keep a buffer. Both produce bit-identical Path
+// values (the golden tests in golden_test.go enforce this against a
+// frozen reference implementation).
 package channel
 
 import (
@@ -47,7 +59,9 @@ type Path struct {
 	Kind PathKind
 
 	// Points traces the ray: transmitter, bounce points (if any),
-	// receiver.
+	// receiver. For paths produced by TraceInto/TraceHInto the backing
+	// array belongs to the scratch buffer and is overwritten by the
+	// next trace into the same buffer.
 	Points []geom.Vec
 
 	// Bounces is the number of wall reflections (0 for direct).
@@ -119,7 +133,60 @@ const (
 	DefaultEndpointHeightM = HeightHeadsetM
 )
 
+// wallGeom is the per-wall precompute: the segment, the mirror-image
+// transform terms (direction and squared length), the unit normal, and
+// the material loss — everything the image method re-derived from scratch
+// on every trace before this cache existed. The arithmetic downstream
+// uses these cached values in exactly the operation order of
+// geom.MirrorPoint / geom.SpecularPoint, so traced paths stay
+// bit-identical.
+type wallGeom struct {
+	seg        geom.Segment
+	d          geom.Vec // seg.B − seg.A
+	len2       float64  // d·d (0 for a degenerate wall)
+	n          geom.Vec // unit normal (zero vector for a degenerate wall)
+	reflLossDB float64
+}
+
+// mirror returns p reflected across the wall's infinite line — the image
+// source of the image method — using the precomputed transform.
+func (w *wallGeom) mirror(p geom.Vec) geom.Vec {
+	if w.len2 == 0 {
+		return p
+	}
+	t := p.Sub(w.seg.A).Dot(w.d) / w.len2
+	foot := w.seg.A.Add(w.d.Scale(t))
+	return foot.Add(foot.Sub(p))
+}
+
+// specular computes the point on the wall at which a ray from tx reflects
+// specularly to reach rx, exactly as geom.SpecularPoint but with the
+// wall's normal and mirror transform precomputed.
+func (w *wallGeom) specular(tx, rx geom.Vec) (geom.Vec, bool) {
+	dTx := tx.Sub(w.seg.A).Dot(w.n)
+	dRx := rx.Sub(w.seg.A).Dot(w.n)
+	// Both endpoints must be strictly on the same side of the wall for a
+	// physical reflection off the wall's face.
+	if dTx*dRx <= 1e-15 {
+		return geom.Vec{}, false
+	}
+	img := w.mirror(tx)
+	hit, ok := w.seg.Intersect(geom.Seg(img, rx))
+	if !ok {
+		return geom.Vec{}, false
+	}
+	return hit, true
+}
+
 // Tracer finds propagation paths between points in a room.
+//
+// A Tracer whose wall set and carrier are unchanged since NewTracer (or
+// since the last single-threaded trace) is safe for concurrent readers:
+// steady-state traces only read the precomputed caches. Adding walls or
+// retuning FreqHz triggers an unsynchronized lazy cache rebuild on the
+// next trace, so such mutations — unlike obstacle moves, which touch no
+// tracer state — must not race with traces from other goroutines; do
+// them from one goroutine before fanning out.
 type Tracer struct {
 	// Room is the environment to trace in.
 	Room *room.Room
@@ -130,10 +197,24 @@ type Tracer struct {
 	// MaxBounces limits reflection order: 0 = direct only, 1 = direct +
 	// single bounce, 2 adds double bounces.
 	MaxBounces int
+
+	// wallCache holds the per-wall precompute; wallsLen/wallsHead record
+	// the room wall slice it was built from so AddWall after NewTracer
+	// invalidates it (append changes length and usually the backing
+	// array).
+	wallCache []wallGeom
+	wallsLen  int
+	wallsHead *room.Wall
+
+	// lambda caches units.Wavelength(FreqHz); lambdaFreq detects callers
+	// that retune FreqHz after construction.
+	lambda     float64
+	lambdaFreq float64
 }
 
 // NewTracer returns a Tracer for the room at the given carrier with the
-// given maximum reflection order (clamped to [0, 2]).
+// given maximum reflection order (clamped to [0, 2]). The per-wall
+// mirror-image transforms and material losses are precomputed here.
 func NewTracer(rm *room.Room, freqHz float64, maxBounces int) *Tracer {
 	if maxBounces < 0 {
 		maxBounces = 0
@@ -141,7 +222,56 @@ func NewTracer(rm *room.Room, freqHz float64, maxBounces int) *Tracer {
 	if maxBounces > 2 {
 		maxBounces = 2
 	}
-	return &Tracer{Room: rm, FreqHz: freqHz, MaxBounces: maxBounces}
+	t := &Tracer{Room: rm, FreqHz: freqHz, MaxBounces: maxBounces}
+	t.rebuildWalls(rm.Walls())
+	t.lambda = units.Wavelength(freqHz)
+	t.lambdaFreq = freqHz
+	return t
+}
+
+// rebuildWalls recomputes the per-wall cache from the given wall set.
+func (t *Tracer) rebuildWalls(ws []room.Wall) {
+	if cap(t.wallCache) < len(ws) {
+		t.wallCache = make([]wallGeom, len(ws))
+	}
+	t.wallCache = t.wallCache[:len(ws)]
+	for i, w := range ws {
+		d := w.Seg.B.Sub(w.Seg.A)
+		t.wallCache[i] = wallGeom{
+			seg:        w.Seg,
+			d:          d,
+			len2:       d.Dot(d),
+			n:          w.Seg.Normal(),
+			reflLossDB: w.Mat.ReflLossDB,
+		}
+	}
+	t.wallsLen = len(ws)
+	if len(ws) > 0 {
+		t.wallsHead = &ws[0]
+	} else {
+		t.wallsHead = nil
+	}
+}
+
+// walls returns the per-wall cache, rebuilding it if the room's wall set
+// changed since it was built (or the Tracer was constructed as a bare
+// literal).
+func (t *Tracer) walls() []wallGeom {
+	ws := t.Room.Walls()
+	if len(ws) != t.wallsLen || (len(ws) > 0 && &ws[0] != t.wallsHead) {
+		t.rebuildWalls(ws)
+	}
+	return t.wallCache
+}
+
+// wavelength returns the cached carrier wavelength, recomputing if the
+// caller retuned FreqHz after construction.
+func (t *Tracer) wavelength() float64 {
+	if t.FreqHz != t.lambdaFreq {
+		t.lambda = units.Wavelength(t.FreqHz)
+		t.lambdaFreq = t.FreqHz
+	}
+	return t.lambda
 }
 
 // Trace returns all propagation paths from tx to rx at the default
@@ -155,82 +285,144 @@ func (t *Tracer) Trace(tx, rx geom.Vec) []Path {
 // direct path (with whatever blockage loss it suffers), plus valid
 // specular reflections. Paths are returned in ascending order of total
 // propagation loss.
+//
+// TraceH allocates a fresh slice per call; steady-state loops should hold
+// a scratch buffer and call TraceHInto instead.
 func (t *Tracer) TraceH(tx, rx geom.Vec, hTx, hRx float64) []Path {
-	paths := []Path{t.direct(tx, rx, hTx, hRx)}
-	if t.MaxBounces >= 1 {
-		paths = append(paths, t.singleBounce(tx, rx, hTx, hRx)...)
-	}
-	if t.MaxBounces >= 2 {
-		paths = append(paths, t.doubleBounce(tx, rx, hTx, hRx)...)
-	}
-	// Sort ascending by loss (insertion sort; path counts are small).
-	for i := 1; i < len(paths); i++ {
-		for j := i; j > 0 && paths[j].PropagationLossDB(t.FreqHz) < paths[j-1].PropagationLossDB(t.FreqHz); j-- {
-			paths[j], paths[j-1] = paths[j-1], paths[j]
-		}
-	}
-	return paths
+	return t.TraceHInto(nil, tx, rx, hTx, hRx)
 }
 
-// direct builds the straight-line path, accumulating obstacle losses.
-func (t *Tracer) direct(tx, rx geom.Vec, hTx, hRx float64) Path {
-	return Path{
+// TraceInto is Trace writing into a caller-retained scratch buffer; see
+// TraceHInto.
+func (t *Tracer) TraceInto(dst []Path, tx, rx geom.Vec) []Path {
+	return t.TraceHInto(dst, tx, rx, DefaultEndpointHeightM, DefaultEndpointHeightM)
+}
+
+// TraceHInto appends the traced paths to dst and returns the extended
+// slice, reusing dst's capacity — including the Points backing array of
+// every Path already within that capacity. The idiom is
+//
+//	buf = tracer.TraceHInto(buf[:0], tx, rx, hTx, hRx)
+//
+// which performs zero heap allocations once buf has warmed up. The
+// returned paths (and their Points) alias the buffer: they are valid
+// until the next trace into it, so callers that retain a Path across
+// traces must copy the Points they need. Paths appended by one call are
+// sorted ascending by total propagation loss among themselves.
+func (t *Tracer) TraceHInto(dst []Path, tx, rx geom.Vec, hTx, hRx float64) []Path {
+	base := len(dst)
+	dst = t.direct(dst, tx, rx, hTx, hRx)
+	if t.MaxBounces >= 1 {
+		dst = t.singleBounce(dst, tx, rx, hTx, hRx)
+	}
+	if t.MaxBounces >= 2 {
+		dst = t.doubleBounce(dst, tx, rx, hTx, hRx)
+	}
+	t.sortByLoss(dst[base:])
+	return dst
+}
+
+// sortByLoss orders paths ascending by total propagation loss. The loss
+// of each path is computed once into a (stack-resident) scratch array and
+// the insertion sort compares the cached values — the comparisons, and
+// therefore the final order, are identical to recomputing
+// PropagationLossDB at every step as the pre-cache implementation did.
+func (t *Tracer) sortByLoss(paths []Path) {
+	var lossArr [128]float64
+	var loss []float64
+	if len(paths) <= len(lossArr) {
+		loss = lossArr[:len(paths)]
+	} else {
+		loss = make([]float64, len(paths)) // >11 walls; never on the stock rooms
+	}
+	for i := range paths {
+		loss[i] = paths[i].PropagationLossDB(t.FreqHz)
+	}
+	// Insertion sort; path counts are small.
+	for i := 1; i < len(paths); i++ {
+		for j := i; j > 0 && loss[j] < loss[j-1]; j-- {
+			paths[j], paths[j-1] = paths[j-1], paths[j]
+			loss[j], loss[j-1] = loss[j-1], loss[j]
+		}
+	}
+}
+
+// extendPaths grows dst by one element, reusing the slot (and its Points
+// backing array) already present within dst's capacity when possible.
+func extendPaths(dst []Path) []Path {
+	if n := len(dst); n < cap(dst) {
+		return dst[:n+1]
+	}
+	return append(dst, Path{})
+}
+
+// direct appends the straight-line path, accumulating obstacle losses.
+func (t *Tracer) direct(dst []Path, tx, rx geom.Vec, hTx, hRx float64) []Path {
+	dst = extendPaths(dst)
+	p := &dst[len(dst)-1]
+	pts := append(p.Points[:0], tx, rx)
+	*p = Path{
 		Kind:        Direct,
-		Points:      []geom.Vec{tx, rx},
+		Points:      pts,
 		Bounces:     0,
 		AoDDeg:      units.NormalizeDeg(geom.DirectionDeg(tx, rx)),
 		AoADeg:      units.NormalizeDeg(geom.DirectionDeg(rx, tx)),
 		LengthM:     tx.Dist(rx),
 		BlockLossDB: t.legBlockageDB(tx, rx, hTx, hRx),
 	}
+	return dst
 }
 
-// singleBounce builds one-reflection paths off every wall. Bounce points
+// singleBounce appends one-reflection paths off every wall. Bounce points
 // are assumed at the interpolated ray height (walls span floor to
 // ceiling).
-func (t *Tracer) singleBounce(tx, rx geom.Vec, hTx, hRx float64) []Path {
-	var paths []Path
-	for _, w := range t.Room.Walls() {
-		hit, ok := geom.SpecularPoint(tx, rx, w.Seg)
+func (t *Tracer) singleBounce(dst []Path, tx, rx geom.Vec, hTx, hRx float64) []Path {
+	walls := t.walls()
+	for wi := range walls {
+		w := &walls[wi]
+		hit, ok := w.specular(tx, rx)
 		if !ok {
 			continue
 		}
 		l1 := tx.Dist(hit)
 		total := l1 + hit.Dist(rx)
 		hHit := hTx + (hRx-hTx)*l1/total
-		p := Path{
+		dst = extendPaths(dst)
+		p := &dst[len(dst)-1]
+		pts := append(p.Points[:0], tx, hit, rx)
+		*p = Path{
 			Kind:        Reflected,
-			Points:      []geom.Vec{tx, hit, rx},
+			Points:      pts,
 			Bounces:     1,
 			AoDDeg:      units.NormalizeDeg(geom.DirectionDeg(tx, hit)),
 			AoADeg:      units.NormalizeDeg(geom.DirectionDeg(rx, hit)),
 			LengthM:     total,
-			ReflLossDB:  w.Mat.ReflLossDB,
+			ReflLossDB:  w.reflLossDB,
 			BlockLossDB: t.legBlockageDB(tx, hit, hTx, hHit) + t.legBlockageDB(hit, rx, hHit, hRx),
 		}
-		paths = append(paths, p)
 	}
-	return paths
+	return dst
 }
 
-// doubleBounce builds two-reflection paths off ordered wall pairs using
+// doubleBounce appends two-reflection paths off ordered wall pairs using
 // the double image method.
-func (t *Tracer) doubleBounce(tx, rx geom.Vec, hTx, hRx float64) []Path {
-	var paths []Path
-	walls := t.Room.Walls()
-	for i, w1 := range walls {
-		img1 := geom.MirrorPoint(tx, w1.Seg)
-		for j, w2 := range walls {
+func (t *Tracer) doubleBounce(dst []Path, tx, rx geom.Vec, hTx, hRx float64) []Path {
+	walls := t.walls()
+	for i := range walls {
+		w1 := &walls[i]
+		img1 := w1.mirror(tx)
+		for j := range walls {
 			if i == j {
 				continue
 			}
+			w2 := &walls[j]
 			// Reflection point on w2 comes from the second-order image.
-			hit2, ok := geom.SpecularPoint(img1, rx, w2.Seg)
+			hit2, ok := w2.specular(img1, rx)
 			if !ok {
 				continue
 			}
 			// Reflection point on w1 from tx toward hit2.
-			hit1, ok := geom.SpecularPoint(tx, hit2, w1.Seg)
+			hit1, ok := w1.specular(tx, hit2)
 			if !ok {
 				continue
 			}
@@ -240,29 +432,31 @@ func (t *Tracer) doubleBounce(tx, rx geom.Vec, hTx, hRx float64) []Path {
 			total := l1 + l2 + l3
 			h1 := hTx + (hRx-hTx)*l1/total
 			h2 := hTx + (hRx-hTx)*(l1+l2)/total
-			p := Path{
+			dst = extendPaths(dst)
+			p := &dst[len(dst)-1]
+			pts := append(p.Points[:0], tx, hit1, hit2, rx)
+			*p = Path{
 				Kind:    Reflected,
-				Points:  []geom.Vec{tx, hit1, hit2, rx},
+				Points:  pts,
 				Bounces: 2,
 				AoDDeg:  units.NormalizeDeg(geom.DirectionDeg(tx, hit1)),
 				AoADeg:  units.NormalizeDeg(geom.DirectionDeg(rx, hit2)),
 				LengthM: total,
-				ReflLossDB: w1.Mat.ReflLossDB +
-					w2.Mat.ReflLossDB,
+				ReflLossDB: w1.reflLossDB +
+					w2.reflLossDB,
 				BlockLossDB: t.legBlockageDB(tx, hit1, hTx, h1) +
 					t.legBlockageDB(hit1, hit2, h1, h2) +
 					t.legBlockageDB(hit2, rx, h2, hRx),
 			}
-			paths = append(paths, p)
 		}
 	}
-	return paths
+	return dst
 }
 
 // legBlockageDB sums the knife-edge diffraction losses of all obstacles
 // crossing or grazing the leg a→b with endpoint heights hA→hB.
 func (t *Tracer) legBlockageDB(a, b geom.Vec, hA, hB float64) float64 {
-	lambda := units.Wavelength(t.FreqHz)
+	lambda := t.wavelength()
 	seg := geom.Seg(a, b)
 	total := 0.0
 	for _, o := range t.Room.Obstacles() {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/movr-sim/movr/internal/baseline"
+	"github.com/movr-sim/movr/internal/channel"
 	"github.com/movr-sim/movr/internal/geom"
 	"github.com/movr-sim/movr/internal/phy"
 	"github.com/movr-sim/movr/internal/radio"
@@ -77,13 +78,17 @@ func Fig3(cfg Fig3Config) Fig3Result {
 		rows[i].Scenario = s
 	}
 
+	// One tracer scratch buffer serves every SNR read in the serial run
+	// loop — the measurement sweep allocates nothing per placement.
+	var pathBuf []channel.Path
 	for run := 0; run < cfg.Runs; run++ {
 		w := NewWorld(1)
 		pos, _ := w.RandomHeadsetPlacement(rng, 1.5)
 		hs := w.NewHeadsetAt(pos, 0)
 
 		// Bar 1: clear LOS, both ends aligned.
-		losSNR := w.AlignedLOSSNR(hs)
+		var losSNR float64
+		losSNR, pathBuf = w.AlignedLOSSNRBuf(hs, pathBuf)
 		record(&rows[0], losSNR)
 
 		// Bars 2-4: blockage while the beams stay on the (now blocked)
@@ -100,7 +105,8 @@ func Fig3(cfg Fig3Config) Fig3Result {
 			w.Room.ClearObstacles()
 			w.Room.AddObstacle(blockers[s])
 			w.FaceEachOther(hs)
-			snr := radio.LinkSNRdB(w.Tracer, &w.AP.Radio, &hs.Radio)
+			var snr float64
+			snr, pathBuf = radio.LinkSNRdBBuf(w.Tracer, &w.AP.Radio, &hs.Radio, pathBuf)
 			record(&rows[idx+1], snr)
 		}
 
@@ -108,7 +114,8 @@ func Fig3(cfg Fig3Config) Fig3Result {
 		// both beams swept everywhere.
 		w.Room.ClearObstacles()
 		w.Room.AddObstacle(blockers[ScenarioHand])
-		res := baseline.OptNLOS(w.Tracer, &w.AP.Radio, &hs.Radio, cfg.NLOSStepDeg)
+		var res baseline.OptNLOSResult
+		res, pathBuf = baseline.OptNLOSBuf(w.Tracer, &w.AP.Radio, &hs.Radio, cfg.NLOSStepDeg, pathBuf)
 		record(&rows[4], res.SNRdB)
 	}
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"github.com/movr-sim/movr/internal/baseline"
+	"github.com/movr-sim/movr/internal/channel"
 	"github.com/movr-sim/movr/internal/control"
 	"github.com/movr-sim/movr/internal/fleet/pool"
 	"github.com/movr-sim/movr/internal/gainctl"
@@ -105,8 +106,13 @@ func Fig9Context(ctx context.Context, cfg Fig9Config) (Fig9Result, error) {
 
 		hs := w.NewHeadsetAt(places[run], 0)
 
+		// One tracer scratch buffer serves the trial's measurements
+		// (trial-local: trials fan out across pool workers).
+		var pathBuf []channel.Path
+
 		// Scenario LOS: clear room, aligned.
-		losSNR := w.AlignedLOSSNR(hs)
+		var losSNR float64
+		losSNR, pathBuf = w.AlignedLOSSNRBuf(hs, pathBuf)
 
 		// Blockage for the other two scenarios: the player's hand in
 		// front of the headset toward the AP.
@@ -114,7 +120,7 @@ func Fig9Context(ctx context.Context, cfg Fig9Config) (Fig9Result, error) {
 		w.Room.AddObstacle(room.Hand(geom.FromPolar(hs.Pos, towardAP, 0.35)))
 
 		// Scenario Opt-NLOS: sweep everything, direct path excluded.
-		nlos := baseline.OptNLOS(w.Tracer, &w.AP.Radio, &hs.Radio, cfg.NLOSStepDeg)
+		nlos, _ := baseline.OptNLOSBuf(w.Tracer, &w.AP.Radio, &hs.Radio, cfg.NLOSStepDeg, pathBuf)
 
 		// Scenario MoVR: same blockage, reflector path. The headset
 		// turns toward the reflector (the measurement posture; in play

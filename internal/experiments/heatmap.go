@@ -95,7 +95,7 @@ func HeatmapContext(ctx context.Context, cfg HeatmapConfig) (HeatmapResult, erro
 		res.Cover[iy] = make([]float64, len(res.Xs))
 	}
 
-	// Cells are independent — each builds its own worlds — so they fan
+	// Cells are independent — each builds its own world — so they fan
 	// out across the fleet worker pool and write into their own grid
 	// slot; aggregation below is order-independent arithmetic over the
 	// fixed grid, so results are identical for any worker count.
@@ -103,20 +103,25 @@ func HeatmapContext(ctx context.Context, cfg HeatmapConfig) (HeatmapResult, erro
 	runCell := func(_ context.Context, cell int) error {
 		iy, ix := cell/len(res.Xs), cell%len(res.Xs)
 		x, y := res.Xs[ix], res.Ys[iy]
+		// One world and link manager per cell; each yaw probe re-steers
+		// through the tracking step, reusing the manager's tracer
+		// scratch. Every evaluation re-derives beams and gain from the
+		// current pose alone, so per-cell reuse is result-identical to
+		// the historical world-per-yaw construction.
+		w := NewWorld(1)
+		hs := w.NewHeadsetAt(geom.V(x, y), cfg.Yaws[0])
+		mgr := linkmgr.New(w.Tracer, w.AP, hs)
+		if cfg.WithReflector {
+			dev := reflector.Default(geom.V(4.6, 4.6), 225)
+			link := control.NewLink(reflector.NewController(dev), control.DefaultRTT, 0, 1)
+			idx := mgr.AddReflector(dev, link)
+			if err := mgr.AlignFromGeometry(idx); err != nil {
+				panic(err) // index valid by construction
+			}
+		}
 		covered := 0
 		for _, yaw := range cfg.Yaws {
-			w := NewWorld(1)
-			hs := w.NewHeadsetAt(geom.V(x, y), yaw)
-			mgr := linkmgr.New(w.Tracer, w.AP, hs)
-			if cfg.WithReflector {
-				dev := reflector.Default(geom.V(4.6, 4.6), 225)
-				link := control.NewLink(reflector.NewController(dev), control.DefaultRTT, 0, 1)
-				idx := mgr.AddReflector(dev, link)
-				if err := mgr.AlignFromGeometry(idx); err != nil {
-					panic(err) // index valid by construction
-				}
-			}
-			if st := mgr.Best(); req.MetByRate(st.RateBps) {
+			if st := mgr.Step(geom.V(x, y), yaw); req.MetByRate(st.RateBps) {
 				covered++
 			}
 		}

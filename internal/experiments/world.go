@@ -108,6 +108,14 @@ func (w *World) AlignedLOSSNR(hs *radio.Headset) float64 {
 	return radio.LinkSNRdB(w.Tracer, &w.AP.Radio, &hs.Radio)
 }
 
+// AlignedLOSSNRBuf is AlignedLOSSNR with a caller-retained tracer scratch
+// buffer (radio.LinkSNRdBBuf semantics), for measurement loops that read
+// many placements without per-read allocations.
+func (w *World) AlignedLOSSNRBuf(hs *radio.Headset, buf []channel.Path) (float64, []channel.Path) {
+	w.FaceEachOther(hs)
+	return radio.LinkSNRdBBuf(w.Tracer, &w.AP.Radio, &hs.Radio, buf)
+}
+
 // GbpsAt converts an SNR to the 802.11ad rate in Gb/s.
 func GbpsAt(snrDB float64) float64 {
 	return phy.RateBps(snrDB) / units.Gbps

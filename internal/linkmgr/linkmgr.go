@@ -110,6 +110,12 @@ type Manager struct {
 	// Last-applied decision, for passive reassessment.
 	lastChoice PathChoice
 	lastRefl   int
+
+	// pathBuf is the tracer scratch reused by every SNR evaluation, so a
+	// steady-state tracking step performs zero heap allocations. Paths
+	// (and their Points) returned through directLeg alias this buffer
+	// and are only valid until the next trace.
+	pathBuf []channel.Path
 }
 
 // New builds a Manager with the HTC Vive requirement and default gain
@@ -164,7 +170,9 @@ func (m *Manager) AlignFromGeometry(i int) error {
 func (m *Manager) EvaluateDirect() float64 {
 	m.AP.SteerToward(m.Headset.Pos)
 	m.Headset.SteerToward(m.AP.Pos)
-	return radio.LinkSNRdB(m.Tracer, &m.AP.Radio, &m.Headset.Radio)
+	var snr float64
+	snr, m.pathBuf = radio.LinkSNRdBBuf(m.Tracer, &m.AP.Radio, &m.Headset.Radio, m.pathBuf)
+	return snr
 }
 
 // EvaluateReflector configures the path through reflector i — AP beam
@@ -283,15 +291,17 @@ func (m *Manager) PrimeReflector(i int) {
 }
 
 // directLeg returns the direct path between two points at the given
-// mounting heights.
+// mounting heights. The returned Path's Points alias the manager's
+// scratch buffer and are overwritten by the next trace; callers use only
+// the scalar fields (angles, length, losses), which are value copies.
 func (m *Manager) directLeg(a, b geom.Vec, hA, hB float64) channel.Path {
-	paths := m.Tracer.TraceH(a, b, hA, hB)
-	for _, p := range paths {
+	m.pathBuf = m.Tracer.TraceHInto(m.pathBuf[:0], a, b, hA, hB)
+	for _, p := range m.pathBuf {
 		if p.Kind == channel.Direct {
 			return p
 		}
 	}
-	return paths[0]
+	return m.pathBuf[0]
 }
 
 // Best evaluates every available path, selects the highest-SNR one,
@@ -347,7 +357,7 @@ func (m *Manager) Reassess() LinkState {
 		snr = m.reflectorSNRAsIs(idx)
 	} else {
 		choice = PathDirect
-		snr = radio.LinkSNRdB(m.Tracer, &m.AP.Radio, &m.Headset.Radio)
+		snr, m.pathBuf = radio.LinkSNRdBBuf(m.Tracer, &m.AP.Radio, &m.Headset.Radio, m.pathBuf)
 	}
 	st := m.stateFor(choice, idx, snr)
 	// Reassessment must not upgrade PathNone back: keep the decision.

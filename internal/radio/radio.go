@@ -71,9 +71,22 @@ func (r *Radio) String() string {
 // LinkSNRdB computes the data-plane SNR from tx to rx over all traced
 // paths, with both arrays at their current steering. This is the quantity
 // the headset's receiver reports.
+//
+// LinkSNRdB allocates a fresh path slice per call; steady-state loops
+// (the link manager's tracking step) should hold a scratch buffer and
+// call LinkSNRdBBuf.
 func LinkSNRdB(tr *channel.Tracer, tx, rx *Radio) float64 {
-	paths := tr.TraceH(tx.Pos, rx.Pos, tx.HeightM, rx.HeightM)
-	return tx.Budget.CombinedSNRdB(paths, tx.Array, rx.Array)
+	snr, _ := LinkSNRdBBuf(tr, tx, rx, nil)
+	return snr
+}
+
+// LinkSNRdBBuf is LinkSNRdB with a caller-retained scratch buffer: paths
+// are traced into buf's storage (channel.Tracer.TraceHInto semantics),
+// and the possibly-grown buffer is returned for the next call. Once the
+// buffer has warmed up the computation is allocation-free.
+func LinkSNRdBBuf(tr *channel.Tracer, tx, rx *Radio, buf []channel.Path) (float64, []channel.Path) {
+	buf = tr.TraceHInto(buf[:0], tx.Pos, rx.Pos, tx.HeightM, rx.HeightM)
+	return tx.Budget.CombinedSNRdB(buf, tx.Array, rx.Array), buf
 }
 
 // LinkSNRAligned steers both radios at each other along the direct path

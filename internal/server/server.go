@@ -52,15 +52,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // executor/cache, embedded verbatim — the field is byte-identical
 // across a fresh run and a cache hit of the same spec.
 type jobView struct {
-	ID         string          `json:"id"`
-	State      State           `json:"state"`
-	Cached     bool            `json:"cached"`
-	SpecSHA256 string          `json:"spec_sha256"`
-	Spec       JobSpec         `json:"spec"`
-	Error      string          `json:"error,omitempty"`
-	CreatedAt  time.Time       `json:"created_at"`
-	StartedAt  time.Time       `json:"started_at,omitzero"`
-	FinishedAt time.Time       `json:"finished_at,omitzero"`
+	ID         string    `json:"id"`
+	State      State     `json:"state"`
+	Cached     bool      `json:"cached"`
+	SpecSHA256 string    `json:"spec_sha256"`
+	Spec       JobSpec   `json:"spec"`
+	Error      string    `json:"error,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+	// Zero StartedAt/FinishedAt are omitted via pointer + omitempty
+	// rather than the Go 1.24-only `omitzero` option, so the wire format
+	// is identical across every toolchain in the CI matrix.
+	StartedAt  *time.Time      `json:"started_at,omitempty"`
+	FinishedAt *time.Time      `json:"finished_at,omitempty"`
 	ElapsedMS  int64           `json:"elapsed_ms,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
 	ResultSHA  string          `json:"result_sha256,omitempty"`
@@ -78,8 +81,14 @@ func view(j *Job, withResult bool) jobView {
 		Spec:       j.Spec,
 		Error:      j.errMsg,
 		CreatedAt:  j.created,
-		StartedAt:  j.started,
-		FinishedAt: j.finished,
+	}
+	if !j.started.IsZero() {
+		started := j.started
+		v.StartedAt = &started
+	}
+	if !j.finished.IsZero() {
+		finished := j.finished
+		v.FinishedAt = &finished
 	}
 	if !j.finished.IsZero() && !j.started.IsZero() {
 		v.ElapsedMS = j.finished.Sub(j.started).Milliseconds()

@@ -274,9 +274,18 @@ var (
 	// baseline.
 	OptNLOS = baseline.OptNLOS
 
+	// OptNLOSBuf is OptNLOS with a caller-retained tracer scratch
+	// buffer (Tracer.TraceHInto semantics) for allocation-free sweeps
+	// over many placements.
+	OptNLOSBuf = baseline.OptNLOSBuf
+
 	// LinkSNR computes the data-plane SNR between two radios over all
 	// traced paths at their current steering.
 	LinkSNR = radio.LinkSNRdB
+
+	// LinkSNRBuf is LinkSNR with a caller-retained tracer scratch
+	// buffer; steady-state loops allocate nothing per read.
+	LinkSNRBuf = radio.LinkSNRdBBuf
 
 	// GbpsAtSNR converts an SNR to the achievable 802.11ad rate in
 	// Gb/s.

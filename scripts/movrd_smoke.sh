@@ -7,8 +7,14 @@ set -eu
 
 workdir="$(mktemp -d)"
 log="$workdir/movrd.log"
+# The trap fires on any exit path — including a failed assertion under
+# `set -e` — so the daemon can never leak into the CI runner. The wait
+# reaps the process before the workdir (and its binary) is removed.
 cleanup() {
-    [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+    if [ -n "${pid:-}" ]; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
     rm -rf "$workdir"
 }
 trap cleanup EXIT INT TERM
@@ -39,8 +45,19 @@ fail() {
     exit 1
 }
 
-code="$(curl -s -o "$workdir/health" -w '%{http_code}' "http://$addr/healthz")"
-[ "$code" = 200 ] || fail "/healthz returned $code"
+# Poll /healthz with a bounded retry loop — the listen line appears
+# before the HTTP server necessarily accepts, and a fixed sleep is either
+# wasteful or racy depending on the machine.
+healthy=""
+i=0
+while [ $i -lt 50 ]; do
+    code="$(curl -s -o "$workdir/health" -w '%{http_code}' "http://$addr/healthz" || true)"
+    [ "$code" = 200 ] && { healthy=1; break; }
+    kill -0 "$pid" 2>/dev/null || { echo "movrd-smoke: daemon died:"; cat "$log"; exit 1; }
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$healthy" ] || fail "/healthz never returned 200 (last code: ${code:-none})"
 echo "movrd-smoke: /healthz ok"
 
 spec='{"kind":"fleet","fleet":{"scenario":"home","sessions":2,"seed":42,"duration_ms":300}}'
