@@ -45,7 +45,7 @@ bench-gate:
 # Re-baseline after an intentional perf change: regenerate
 # BENCH_baseline.json and commit it with the change that justified it.
 bench-baseline:
-	MOVR_GIT_SHA=$$(git rev-parse --short=12 HEAD) $(GO) run ./cmd/movrsim bench -bench-out BENCH_baseline.json
+	MOVR_GIT_SHA=$$(git rev-parse --short=12 HEAD) $(GO) run ./cmd/movrsim -bench-out BENCH_baseline.json bench
 
 # Start movrd, poll /healthz, submit a tiny fleet job, and assert the
 # resubmission is a byte-identical cache hit — the CI movrd-smoke step.

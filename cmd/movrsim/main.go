@@ -28,7 +28,8 @@
 //	-fast         reduce run counts and sweep resolution for a quick pass
 //	-workers N    worker-pool size for fleet, fig9 and map (0 = all cores)
 //	-sessions N   fleet session count (default 24)
-//	-scenario S   fleet scenario: mixed|arcade|home|dense (default mixed)
+//	-scenario S   fleet scenario: mixed|arcade|home|dense|coex (default mixed)
+//	-players N    players sharing each coex bay's medium (coex only, default 4)
 //
 // Bench flags (see the README's "Performance workflow" section):
 //
@@ -55,7 +56,8 @@ func main() {
 	fast := flag.Bool("fast", false, "quick pass: fewer runs, coarser sweeps")
 	workers := flag.Int("workers", 0, "worker-pool size for fleet, fig9 and map (0 = all cores)")
 	sessions := flag.Int("sessions", 24, "fleet session count")
-	scenario := flag.String("scenario", "mixed", "fleet scenario: mixed|arcade|home|dense")
+	scenario := flag.String("scenario", "mixed", "fleet scenario: "+movr.FleetScenarioNames())
+	players := flag.Int("players", 0, "players sharing each coex bay's medium (coex scenario; 0 = 4)")
 	benchOut := flag.String("bench-out", "", "bench report path (default BENCH_<git-sha>.json)")
 	benchCompare := flag.String("bench-compare", "", "baseline BENCH_*.json to gate against")
 	benchTolPct := flag.Float64("bench-tol-pct", 50, "allowed ns/op regression in percent")
@@ -78,6 +80,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "movrsim: %v\n\n", err)
 		usage()
 		os.Exit(2)
+	}
+	// -players mirrors the daemon's headsets_per_room validation: only
+	// meaningful for the coex scenario, bounded the same way.
+	if *players != 0 {
+		switch {
+		case kind != movr.FleetScenarioCoex:
+			fmt.Fprintf(os.Stderr, "movrsim: -players is only meaningful with -scenario %s\n\n", movr.FleetScenarioCoex)
+			usage()
+			os.Exit(2)
+		case *players < 0:
+			fmt.Fprintf(os.Stderr, "movrsim: -players %d must be positive\n\n", *players)
+			usage()
+			os.Exit(2)
+		case *players > movr.MaxCoexHeadsets:
+			fmt.Fprintf(os.Stderr, "movrsim: -players %d exceeds the limit of %d\n\n", *players, movr.MaxCoexHeadsets)
+			usage()
+			os.Exit(2)
+		}
 	}
 
 	cmd := flag.Arg(0)
@@ -104,7 +124,7 @@ func main() {
 	case "ablations":
 		runAblations(*seed)
 	case "fleet":
-		runFleet(*seed, *workers, *sessions, kind, *fast)
+		runFleet(*seed, *workers, *sessions, *players, kind, *fast)
 	case "bench":
 		runBench(*benchOut, *benchCompare, *benchTolPct, *benchAllocTol, *fast)
 	case "all":
@@ -128,7 +148,7 @@ func main() {
 		fmt.Println()
 		runAblations(*seed)
 		fmt.Println()
-		runFleet(*seed, *workers, *sessions, kind, *fast)
+		runFleet(*seed, *workers, *sessions, *players, kind, *fast)
 	default:
 		fmt.Fprintf(os.Stderr, "movrsim: unknown experiment %q\n\n", cmd)
 		usage()
@@ -211,15 +231,19 @@ func runMap(workers int) {
 	fmt.Print(movr.RunHeatmap(with).Render("VR coverage — AP + MoVR reflector"))
 }
 
-func runFleet(seed int64, workers, sessions int, kind movr.FleetScenarioKind, fast bool) {
-	cfg := movr.FleetScenarioConfig{Seed: seed, Duration: 10 * time.Second}
+func runFleet(seed int64, workers, sessions, players int, kind movr.FleetScenarioKind, fast bool) {
+	cfg := movr.FleetScenarioConfig{Seed: seed, Duration: 10 * time.Second, HeadsetsPerRoom: players}
 	if fast {
 		cfg.Duration = 2 * time.Second
 		cfg.ReEvalPeriod = 100 * time.Millisecond
 	}
 	// The spec set comes from the same generator the movrd job API
 	// uses, so CLI runs and server jobs cannot drift apart.
-	specs := kind.Specs(sessions, cfg)
+	specs, err := kind.Specs(sessions, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "movrsim: fleet: %v\n", err)
+		os.Exit(1)
+	}
 	res, err := movr.RunFleet(context.Background(), specs, movr.FleetConfig{Workers: workers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "movrsim: fleet: %v\n", err)

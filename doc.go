@@ -33,6 +33,14 @@
 //     percentile statistics, byte-identical for any worker count. The
 //     heavy experiment sweeps (coverage heatmap, Fig 9 trials, the
 //     ablations) fan out through the same pool;
+//   - a shared-medium coexistence model (internal/coex, the CoexFleet
+//     "coex" scenario): multi-headset arcade bays where one 60 GHz
+//     channel is split across the room's players by a round-robin TDMA
+//     airtime scheduler at the tracking cadence — body-blocked players'
+//     slots are reclaimed by the others — and every co-player walks its
+//     own motion trace through the room as a dynamic obstacle. The
+//     first workload where per-player delivered rate degrades as
+//     players per room grow;
 //   - a simulation-as-a-service daemon (cmd/movrd over internal/server):
 //     a job API with SSE progress streams, a scheduler that multiplexes
 //     concurrent jobs onto one shared bounded session pool with 429

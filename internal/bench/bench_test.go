@@ -174,7 +174,7 @@ func TestCompareSchemaMismatchFails(t *testing.T) {
 func TestSuiteShape(t *testing.T) {
 	want := []string{
 		"tracer/office2b", "linkmgr/step", "fig9/trial",
-		"fleet/mixed", "fleet/arcade", "fleet/home", "fleet/dense",
+		"fleet/mixed", "fleet/arcade", "fleet/home", "fleet/dense", "fleet/coex",
 		"movrd/submit",
 	}
 	suite := Suite()

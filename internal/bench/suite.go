@@ -131,12 +131,15 @@ func fleetSpec(kind fleet.Kind) Spec {
 		Duration:     500 * time.Millisecond,
 		ReEvalPeriod: 50 * time.Millisecond,
 	}
-	specs := kind.Specs(4, cfg)
+	specs, specErr := kind.Specs(4, cfg)
 	return Spec{
 		Name:   "fleet/" + string(kind),
 		Warmup: 2,
 		Reps:   10,
 		Op: func() error {
+			if specErr != nil {
+				return specErr
+			}
 			res, err := fleet.Run(context.Background(), specs, fleet.Config{Workers: suiteWorkers})
 			if err != nil {
 				return err

@@ -1,0 +1,213 @@
+// Package coex models shared-medium coexistence in multi-headset rooms:
+// several untethered VR headsets contending for one 60 GHz channel — the
+// VR-arcade deployment the paper's introduction targets. Two effects make
+// a shared bay strictly harder than N copies of a private room:
+//
+//   - airtime: the medium is one channel, so each player only transmits
+//     during its TDMA slots. The scheduler here splits every scheduling
+//     window (the 50 ms tracking cadence) round-robin across the room's
+//     players, and reclaims the slots of players whose direct path from
+//     the AP is body-blocked — a blocked player cannot use the air, so
+//     its share is lent to the others (the idle-reclaim policy);
+//   - blockage: every other player's body is a moving obstacle on this
+//     player's mmWave paths. The experiments layer feeds the same peer
+//     traces used for scheduling into the ray tracer's world as dynamic
+//     body obstacles.
+//
+// The scheduler is deterministic and purely geometric: the active set of
+// each window is computed from the players' motion traces at the window
+// start, so every session in a room — simulated independently and
+// concurrently — derives the identical schedule.
+package coex
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/room"
+	"github.com/movr-sim/movr/internal/stream"
+	"github.com/movr-sim/movr/internal/vr"
+)
+
+// DefaultPeriod is the TDMA scheduling window when none is configured —
+// the paper's 50 ms tracking cadence, so the schedule and the beam
+// controller re-plan on the same clock.
+const DefaultPeriod = 50 * time.Millisecond
+
+// Room describes one shared-medium room from a single session's point of
+// view: every player sharing the channel (including this one) and which
+// of them this session is.
+type Room struct {
+	// Players holds the motion trace of every headset sharing the
+	// room's medium, in TDMA slot order. Each session in the room must
+	// be built with the same Players list for the per-session schedules
+	// to agree.
+	Players []vr.Trace
+
+	// Self is this session's index in Players.
+	Self int
+
+	// Period is the TDMA scheduling window. Zero means DefaultPeriod.
+	Period time.Duration
+
+	// BodyRadiusM is the blocking radius of a player's body for the
+	// idle-reclaim line-of-sight test. Zero means room.BodyRadiusM.
+	BodyRadiusM float64
+}
+
+// Scheduler computes this session's airtime share of the room's medium
+// over virtual time. It caches the most recent scheduling window, so the
+// mostly-monotonic time queries of a streaming run cost one active-set
+// evaluation per window. A Scheduler is stateful scratch and must not be
+// shared between sessions; build one per streamed session.
+type Scheduler struct {
+	players []vr.Trace
+	self    int
+	period  time.Duration
+	radius  float64
+	ap      geom.Vec
+
+	// Cached window: the sub-slot [slotStart, slotEnd) assigned to Self
+	// inside window winIdx, or active=false when Self's slots were
+	// reclaimed.
+	winIdx             int64
+	active             bool
+	slotStart, slotEnd time.Duration
+}
+
+// NewScheduler validates the room and builds the session's scheduler.
+// ap is the transmitter position the idle-reclaim LOS test sights from
+// (the room's AP).
+func NewScheduler(rm Room, ap geom.Vec) (*Scheduler, error) {
+	if len(rm.Players) == 0 {
+		return nil, fmt.Errorf("coex: room has no players")
+	}
+	if rm.Self < 0 || rm.Self >= len(rm.Players) {
+		return nil, fmt.Errorf("coex: self index %d out of range [0,%d)", rm.Self, len(rm.Players))
+	}
+	for i, tr := range rm.Players {
+		if len(tr) == 0 {
+			return nil, fmt.Errorf("coex: player %d has an empty trace", i)
+		}
+	}
+	period := rm.Period
+	if period <= 0 {
+		period = DefaultPeriod
+	}
+	radius := rm.BodyRadiusM
+	if radius <= 0 {
+		radius = room.BodyRadiusM
+	}
+	return &Scheduler{
+		players: rm.Players,
+		self:    rm.Self,
+		period:  period,
+		radius:  radius,
+		ap:      ap,
+		winIdx:  -1,
+	}, nil
+}
+
+// Players returns the number of headsets sharing the medium.
+func (s *Scheduler) Players() int { return len(s.players) }
+
+// Share returns this session's airtime multiplier at virtual time t: 1
+// inside its own TDMA sub-slot, 0 outside. Slots rotate round-robin
+// window to window, so a player's slot sweeps every phase of the frame
+// cadence over a session, and the sub-slots of body-blocked players are
+// redistributed to the active ones.
+func (s *Scheduler) Share(t time.Duration) float64 {
+	if t < 0 {
+		t = 0
+	}
+	if win := int64(t / s.period); win != s.winIdx {
+		s.computeWindow(win)
+	}
+	if s.active && t >= s.slotStart && t < s.slotEnd {
+		return 1
+	}
+	return 0
+}
+
+// Wrap composes the schedule into a link-rate function: the wrapped rate
+// is the underlying link rate during this session's slots and zero while
+// another player holds the medium.
+func (s *Scheduler) Wrap(rate stream.RateFunc) stream.RateFunc {
+	return func(now time.Duration) float64 {
+		return rate(now) * s.Share(now)
+	}
+}
+
+// computeWindow evaluates the active set at the start of window win and
+// assigns the window's sub-slots: active players split the window evenly
+// in round-robin order (the rotation offset advances every window), and
+// blocked players get nothing — their airtime is reclaimed. When every
+// player is blocked there is nothing to reclaim and the schedule falls
+// back to an even split over everyone.
+func (s *Scheduler) computeWindow(win int64) {
+	s.winIdx = win
+	start := s.period * time.Duration(win)
+
+	n := len(s.players)
+	poses := make([]geom.Vec, n)
+	for i, tr := range s.players {
+		poses[i] = tr.At(start).Pos
+	}
+	active := make([]bool, n)
+	nActive := 0
+	for i := range s.players {
+		active[i] = s.losClear(poses, i)
+		if active[i] {
+			nActive++
+		}
+	}
+	if nActive == 0 {
+		for i := range active {
+			active[i] = true
+		}
+		nActive = n
+	}
+
+	if !active[s.self] {
+		s.active = false
+		return
+	}
+	// Rank of self among the active players in cyclic order from the
+	// window's rotation offset.
+	rank := 0
+	for off := 0; off < n; off++ {
+		i := (int(win%int64(n)) + off) % n
+		if i == s.self {
+			break
+		}
+		if active[i] {
+			rank++
+		}
+	}
+	s.active = true
+	// Sub-slot boundaries are computed from the window span (not a
+	// pre-divided slot width) so the last slot ends exactly at the next
+	// window — the same full-coverage rule stream.Run uses.
+	s.slotStart = start + s.period*time.Duration(rank)/time.Duration(nActive)
+	s.slotEnd = start + s.period*time.Duration(rank+1)/time.Duration(nActive)
+}
+
+// losClear reports whether player i's direct path from the AP is clear
+// of every other player's body disc — the idle-reclaim activity test.
+// It deliberately ignores walls and furniture: the question is whether
+// the *other players* have shadowed this one, which is the signal the
+// room's scheduler can read from tracking data alone.
+func (s *Scheduler) losClear(poses []geom.Vec, i int) bool {
+	seg := geom.Seg(s.ap, poses[i])
+	for j := range poses {
+		if j == i {
+			continue
+		}
+		body := geom.Circle{C: poses[j], R: s.radius}
+		if body.IntersectsSegment(seg) {
+			return false
+		}
+	}
+	return true
+}

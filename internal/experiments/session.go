@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/movr-sim/movr/internal/coex"
 	"github.com/movr-sim/movr/internal/control"
 	"github.com/movr-sim/movr/internal/geom"
 	"github.com/movr-sim/movr/internal/linkmgr"
@@ -67,6 +68,17 @@ type SessionConfig struct {
 	// Blockers are extra static obstacles standing in the room for the
 	// whole session — furniture, bystanders, other players.
 	Blockers []room.Obstacle
+
+	// Coex, when non-nil, makes the room's 60 GHz medium genuinely
+	// shared: the other players in Coex.Players walk their own motion
+	// traces as dynamic body obstacles in this session's world, and the
+	// session's link rate is gated by its TDMA airtime share (round-robin
+	// slots at Coex.Period, idle slots reclaimed). Nil keeps the
+	// historical behavior — the session has the medium to itself.
+	// Coex.Players[Coex.Self] should be this session's own motion (the
+	// scheduler substitutes the session trace there regardless, so the
+	// schedule always sees the physical motion being streamed).
+	Coex *coex.Room
 
 	// Variants selects which system variants Session runs. Nil runs all
 	// four.
@@ -253,6 +265,39 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) (Vari
 		w.Room.AddObstacle(b)
 	}
 
+	// Shared-medium rooms: every other player is a dynamic obstacle
+	// moving along its own trace, and the stream's rate is gated by this
+	// session's TDMA airtime share of the room's one 60 GHz channel.
+	var (
+		peerTraces []vr.Trace
+		peerIdx    []int
+		sched      *coex.Scheduler
+	)
+	if cfg.Coex != nil {
+		rm := *cfg.Coex
+		// The scheduler must see the motion actually being streamed as
+		// this player's trace; peers stay as configured.
+		players := append([]vr.Trace(nil), rm.Players...)
+		if rm.Self >= 0 && rm.Self < len(players) {
+			players[rm.Self] = trace
+		}
+		rm.Players = players
+		if rm.Period <= 0 {
+			rm.Period = cfg.ReEvalPeriod
+		}
+		sched, err = coex.NewScheduler(rm, w.AP.Pos)
+		if err != nil {
+			return VariantOutcome{}, err
+		}
+		for i, tr := range players {
+			if i == rm.Self {
+				continue
+			}
+			peerTraces = append(peerTraces, tr)
+			peerIdx = append(peerIdx, w.Room.AddObstacle(room.Body(tr.At(0).Pos)))
+		}
+	}
+
 	// The hand blocker follows the trace; one obstacle slot is reused.
 	handIdx := w.Room.AddObstacle(room.Hand(geom.V(-10, -10))) // parked off-room
 
@@ -293,6 +338,9 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) (Vari
 	// applied, through whatever the geometry now is.
 	const worldTick = 10 * time.Millisecond
 	applyWorld := func(p vr.Pose) {
+		for j, idx := range peerIdx {
+			w.Room.MoveObstacle(idx, peerTraces[j].At(engine.Now()).Pos)
+		}
 		if p.HandRaised {
 			w.Room.MoveObstacle(handIdx, p.HandPos())
 		} else {
@@ -353,10 +401,14 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) (Vari
 		control(trace.At(engine.Now()))
 	})
 
+	rateFn := stream.RateFunc(func(now time.Duration) float64 { return currentRate })
+	if sched != nil {
+		rateFn = sched.Wrap(rateFn)
+	}
 	rep := stream.Run(engine, stream.Config{
 		Display:  vr.HTCVive(),
 		Duration: cfg.Duration,
-	}, func(now time.Duration) float64 { return currentRate })
+	}, rateFn)
 	return VariantOutcome{Report: rep, Handoffs: handoffs}, nil
 }
 

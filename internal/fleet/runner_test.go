@@ -12,7 +12,10 @@ import (
 
 func tinySpecs(t *testing.T, n int) []Spec {
 	t.Helper()
-	specs := KindHome.Specs(n, ScenarioConfig{Seed: 7, Duration: 500 * time.Millisecond})
+	specs, err := KindHome.Specs(n, ScenarioConfig{Seed: 7, Duration: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(specs) != n {
 		t.Fatalf("generated %d specs, want %d", len(specs), n)
 	}

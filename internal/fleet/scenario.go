@@ -6,9 +6,11 @@ import (
 	"strings"
 	"time"
 
+	"github.com/movr-sim/movr/internal/coex"
 	"github.com/movr-sim/movr/internal/experiments"
 	"github.com/movr-sim/movr/internal/geom"
 	"github.com/movr-sim/movr/internal/room"
+	"github.com/movr-sim/movr/internal/vr"
 )
 
 // ScenarioConfig tunes the generated sessions. Zero values give a 5 s
@@ -24,6 +26,10 @@ type ScenarioConfig struct {
 	// placement, and every per-session motion seed. The same seed
 	// always generates the same spec set.
 	Seed int64
+
+	// HeadsetsPerRoom sets how many players share each coex bay's
+	// medium (coex scenario only; 0 means 4).
+	HeadsetsPerRoom int
 }
 
 func (cfg ScenarioConfig) withDefaults() ScenarioConfig {
@@ -56,12 +62,14 @@ const (
 	KindArcade Kind = "arcade"
 	KindHome   Kind = "home"
 	KindDense  Kind = "dense"
+	KindCoex   Kind = "coex"
 )
 
 // Kinds lists the recognised scenario kinds in menu order.
-var Kinds = []Kind{KindMixed, KindArcade, KindHome, KindDense}
+var Kinds = []Kind{KindMixed, KindArcade, KindHome, KindDense, KindCoex}
 
-// KindNames renders the menu for usage strings: "mixed|arcade|home|dense".
+// KindNames renders the menu for usage strings:
+// "mixed|arcade|home|dense|coex".
 func KindNames() string {
 	names := make([]string, len(Kinds))
 	for i, k := range Kinds {
@@ -81,19 +89,23 @@ func ParseKind(s string) (Kind, error) {
 }
 
 // Specs generates the deterministic spec set for n sessions of kind k.
-// An unknown kind yields nil (use ParseKind to validate input first).
-func (k Kind) Specs(n int, cfg ScenarioConfig) []Spec {
+// An unknown kind is an error carrying the same menu ParseKind prints —
+// it used to yield a silent nil, which front-ends could mistake for an
+// empty scenario.
+func (k Kind) Specs(n int, cfg ScenarioConfig) ([]Spec, error) {
 	switch k {
 	case KindMixed:
-		return Mixed(n, cfg)
+		return Mixed(n, cfg), nil
 	case KindArcade:
-		return ArcadeN(n, cfg)
+		return ArcadeN(n, cfg), nil
 	case KindHome:
-		return Homes(n, cfg)
+		return Homes(n, cfg), nil
 	case KindDense:
-		return DenseBlockers(n, defaultDenseBlockers, cfg)
+		return DenseBlockers(n, defaultDenseBlockers, cfg), nil
+	case KindCoex:
+		return CoexN(n, cfg), nil
 	}
-	return nil
+	return nil, fmt.Errorf("unknown scenario %q (%s)", string(k), KindNames())
 }
 
 // Title is the human-readable report banner for the kind.
@@ -107,6 +119,8 @@ func (k Kind) Title() string {
 		return "Fleet — homes (one headset per room)"
 	case KindDense:
 		return fmt.Sprintf("Fleet — dense-blocker stress (office + %d obstacles)", defaultDenseBlockers)
+	case KindCoex:
+		return "Fleet — VR arcade, shared medium (TDMA airtime + inter-player blockage)"
 	}
 	return "Fleet"
 }
@@ -165,6 +179,94 @@ func Arcade(rooms, headsetsPerRoom int, cfg ScenarioConfig) []Spec {
 func ArcadeN(n int, cfg ScenarioConfig) []Spec {
 	const perRoom = 4
 	specs := Arcade((n+perRoom-1)/perRoom, perRoom, cfg)
+	if len(specs) > n {
+		specs = specs[:n]
+	}
+	return specs
+}
+
+// Coex generates contended VR-arcade bays: the same 8 m × 8 m
+// three-reflector rooms as Arcade, but the bay's one 60 GHz channel is
+// genuinely shared. Each player transmits only during its round-robin
+// TDMA slots of the tracking cadence (slots of body-blocked players are
+// reclaimed by the others — coex.Scheduler), and every other player's
+// body follows its own motion trace through the room as a dynamic
+// obstacle instead of standing at a fixed station. This is the first
+// workload where per-player delivered rate degrades as headsetsPerRoom
+// grows.
+func Coex(rooms, headsetsPerRoom int, cfg ScenarioConfig) []Spec {
+	if rooms <= 0 {
+		rooms = 1
+	}
+	if headsetsPerRoom <= 0 {
+		headsetsPerRoom = DefaultCoexHeadsets
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const w, d = 8, 8
+	mounts := append(experiments.DefaultMounts(w, d),
+		experiments.Mount{Pos: geom.V(w/2, 0), FacingDeg: 90})
+
+	var specs []Spec
+	for r := 0; r < rooms; r++ {
+		seeds := make([]int64, headsetsPerRoom)
+		for h := range seeds {
+			seeds[h] = rng.Int63()
+		}
+		// Every player's trace is generated up front exactly the way the
+		// session will regenerate its own (same room, seed and duration),
+		// so each session's scheduler sees the identical room: peers from
+		// these traces, itself from its live session trace.
+		traces := make([]vr.Trace, headsetsPerRoom)
+		for h, seed := range seeds {
+			trCfg := vr.DefaultTraceConfig(w, d, seed)
+			trCfg.Duration = cfg.Duration
+			tr, err := vr.Generate(trCfg)
+			if err != nil {
+				panic(err) // 8×8 m bay always fits the motion generator
+			}
+			traces[h] = tr
+		}
+		for h := 0; h < headsetsPerRoom; h++ {
+			sess := cfg.session(seeds[h])
+			sess.RoomW, sess.RoomD = w, d
+			sess.Mounts = mounts
+			sess.Coex = &coex.Room{
+				Players: traces,
+				Self:    h,
+				Period:  cfg.ReEvalPeriod,
+			}
+			specs = append(specs, Spec{
+				ID:      fmt.Sprintf("coex/r%d/h%d", r, h),
+				Session: sess,
+			})
+		}
+	}
+	return specs
+}
+
+// DefaultCoexHeadsets matches the arcade bay's four players; both
+// front-ends (the movrsim -players flag and the movrd headsets_per_room
+// field) default to it, so CLI runs and daemon jobs describe the same
+// bay. MaxCoexHeadsets bounds the per-room count: each extra headset
+// adds a dynamic obstacle to every co-located session's world, so cost
+// grows quadratically with the room's population.
+const (
+	DefaultCoexHeadsets = 4
+	MaxCoexHeadsets     = 8
+)
+
+// CoexN generates shared-medium arcade bays sized for exactly n
+// sessions: cfg.HeadsetsPerRoom players per bay (default 4), enough
+// rooms to hold them, truncated to n. A truncated bay's missing players
+// still contend for airtime and block beams — they just are not
+// simulated as sessions of their own.
+func CoexN(n int, cfg ScenarioConfig) []Spec {
+	perRoom := cfg.HeadsetsPerRoom
+	if perRoom <= 0 {
+		perRoom = DefaultCoexHeadsets
+	}
+	specs := Coex((n+perRoom-1)/perRoom, perRoom, cfg)
 	if len(specs) > n {
 		specs = specs[:n]
 	}

@@ -16,8 +16,8 @@ func TestScenarioKindsDeterministicAndDistinct(t *testing.T) {
 	for _, kind := range Kinds {
 		t.Run(string(kind), func(t *testing.T) {
 			const n = 13
-			a := kind.Specs(n, cfg)
-			b := kind.Specs(n, cfg)
+			a := mustSpecs(t, kind, n, cfg)
+			b := mustSpecs(t, kind, n, cfg)
 			if len(a) == 0 {
 				t.Fatalf("%s generated no specs", kind)
 			}
@@ -38,7 +38,7 @@ func TestScenarioKindsDeterministicAndDistinct(t *testing.T) {
 			// A different seed must move at least the session seeds.
 			other := cfg
 			other.Seed = 43
-			c := kind.Specs(n, other)
+			c := mustSpecs(t, kind, n, other)
 			if reflect.DeepEqual(a, c) {
 				t.Fatalf("%s: seeds 42 and 43 generated identical spec sets", kind)
 			}
@@ -46,14 +46,62 @@ func TestScenarioKindsDeterministicAndDistinct(t *testing.T) {
 	}
 }
 
+func mustSpecs(t *testing.T, kind Kind, n int, cfg ScenarioConfig) []Spec {
+	t.Helper()
+	specs, err := kind.Specs(n, cfg)
+	if err != nil {
+		t.Fatalf("%s.Specs: %v", kind, err)
+	}
+	return specs
+}
+
 func TestScenarioKindSessionCounts(t *testing.T) {
 	cfg := ScenarioConfig{Seed: 1}
 	for _, kind := range Kinds {
 		for _, n := range []int{1, 4, 9} {
-			if got := len(kind.Specs(n, cfg)); got != n {
+			if got := len(mustSpecs(t, kind, n, cfg)); got != n {
 				t.Errorf("%s.Specs(%d) generated %d sessions", kind, n, got)
 			}
 		}
+	}
+}
+
+// TestKindRoundTrip pins the full kind surface: every recognised kind
+// round-trips through ParseKind, generates specs without error, and
+// renders a kind-specific title — while an unknown kind is rejected by
+// both ParseKind and Specs with the same menu message.
+func TestKindRoundTrip(t *testing.T) {
+	cfg := ScenarioConfig{Seed: 3, Duration: time.Second}
+	for _, kind := range Kinds {
+		parsed, err := ParseKind(string(kind))
+		if err != nil || parsed != kind {
+			t.Fatalf("ParseKind(%q) = %q, %v", kind, parsed, err)
+		}
+		specs, err := parsed.Specs(3, cfg)
+		if err != nil {
+			t.Fatalf("%s.Specs: %v", kind, err)
+		}
+		if len(specs) != 3 {
+			t.Fatalf("%s.Specs(3) generated %d specs", kind, len(specs))
+		}
+		if title := parsed.Title(); title == "Fleet" || title == "" {
+			t.Errorf("%s.Title() = %q, want a kind-specific banner", kind, title)
+		}
+	}
+
+	unknown := Kind("stadium")
+	if _, err := ParseKind(string(unknown)); err == nil {
+		t.Error("ParseKind accepted an unknown kind")
+	}
+	specs, err := unknown.Specs(3, cfg)
+	if err == nil {
+		t.Fatal("Specs accepted an unknown kind")
+	}
+	if specs != nil {
+		t.Error("Specs returned specs alongside an error")
+	}
+	if !strings.Contains(err.Error(), KindNames()) {
+		t.Errorf("Specs error %q should list the valid kinds", err)
 	}
 }
 

@@ -83,11 +83,15 @@ func executeFleet(ctx context.Context, f FleetJobSpec, runner *pool.Runner, onSe
 		return fleet.Result{}, "", err
 	}
 	scfg := fleet.ScenarioConfig{
-		Seed:         f.Seed,
-		Duration:     f.fleetDuration(),
-		ReEvalPeriod: f.reEvalPeriod(),
+		Seed:            f.Seed,
+		Duration:        f.fleetDuration(),
+		ReEvalPeriod:    f.reEvalPeriod(),
+		HeadsetsPerRoom: f.HeadsetsPerRoom,
 	}
-	base := kind.Specs(f.Sessions, scfg)
+	base, err := kind.Specs(f.Sessions, scfg)
+	if err != nil {
+		return fleet.Result{}, "", err
+	}
 	specs := make([]fleet.Spec, 0, len(base)*len(f.Variants))
 	for _, name := range f.Variants {
 		variant := variantNames[name]

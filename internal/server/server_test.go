@@ -342,3 +342,29 @@ func TestMetricsExposesPoolGauges(t *testing.T) {
 		}
 	}
 }
+
+// TestSubmitCoexJob drives the new coex scenario through the whole
+// daemon path: spec normalization (headsets_per_room), scheduling,
+// fleet execution with the shared-medium sessions, and result
+// rendering.
+func TestSubmitCoexJob(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	resp, v := postJob(t, ts,
+		`{"kind":"fleet","fleet":{"scenario":"coex","sessions":2,"seed":3,"duration_ms":300,"headsets_per_room":2}}`,
+		true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if v.State != "done" {
+		t.Fatalf("job state = %q, want done", v.State)
+	}
+	if !strings.Contains(string(v.Result), "shared medium") {
+		t.Error("result render is missing the coex banner")
+	}
+	// The field is rejected outside the coex scenario.
+	resp, _ = postJob(t, ts,
+		`{"kind":"fleet","fleet":{"scenario":"home","sessions":2,"headsets_per_room":2}}`, true)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-coex headsets_per_room accepted with status %d", resp.StatusCode)
+	}
+}

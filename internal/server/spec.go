@@ -74,6 +74,13 @@ type FleetJobSpec struct {
 	// Variants lists the system variants to run, each applied to the
 	// full spec set: direct|static|reactive|tracking. Default tracking.
 	Variants []string `json:"variants,omitempty"`
+
+	// HeadsetsPerRoom sets how many players share each coex bay's
+	// 60 GHz medium (coex scenario only; default 4, max 8). It must be
+	// zero for every other scenario, and is omitted from the canonical
+	// encoding when zero — so specs from before the coex scenario keep
+	// their hashes and cached results stay valid.
+	HeadsetsPerRoom int `json:"headsets_per_room,omitempty"`
 }
 
 // Fig9JobSpec parameterizes the §5.2 SNR-improvement study.
@@ -198,6 +205,18 @@ func (f FleetJobSpec) normalize() (FleetJobSpec, error) {
 		return FleetJobSpec{}, fmt.Errorf("spec: reeval_ms %d must be positive", f.ReEvalMS)
 	case f.ReEvalMS < minFleetReEvalMS:
 		return FleetJobSpec{}, fmt.Errorf("spec: reeval_ms %d below the minimum of %d", f.ReEvalMS, minFleetReEvalMS)
+	}
+	if f.Scenario == string(fleet.KindCoex) {
+		switch {
+		case f.HeadsetsPerRoom == 0:
+			f.HeadsetsPerRoom = fleet.DefaultCoexHeadsets
+		case f.HeadsetsPerRoom < 0:
+			return FleetJobSpec{}, fmt.Errorf("spec: headsets_per_room %d must be positive", f.HeadsetsPerRoom)
+		case f.HeadsetsPerRoom > fleet.MaxCoexHeadsets:
+			return FleetJobSpec{}, fmt.Errorf("spec: headsets_per_room %d exceeds the limit of %d", f.HeadsetsPerRoom, fleet.MaxCoexHeadsets)
+		}
+	} else if f.HeadsetsPerRoom != 0 {
+		return FleetJobSpec{}, fmt.Errorf("spec: headsets_per_room is only meaningful for the %q scenario", fleet.KindCoex)
 	}
 	if len(f.Variants) == 0 {
 		f.Variants = []string{"tracking"}

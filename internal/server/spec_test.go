@@ -108,3 +108,71 @@ func TestNormalizeDedupesVariants(t *testing.T) {
 		t.Errorf("variants = %v, want [tracking direct]", got)
 	}
 }
+
+// TestCoexFieldHashes pins the cache-correctness contract of the coex
+// scenario's headsets_per_room field: specs differing only in
+// coexistence settings must hash apart (no stale cache hits), while the
+// zero value hashes exactly as specs did before the field existed (a
+// redeploy must not orphan every cached result).
+func TestCoexFieldHashes(t *testing.T) {
+	coex2 := JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "coex", HeadsetsPerRoom: 2}}
+	coex4 := JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "coex", HeadsetsPerRoom: 4}}
+	h2, err := coex2.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h4, err := coex4.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 == h4 {
+		t.Error("specs differing only in headsets_per_room hash identically")
+	}
+
+	// Zero headsets_per_room on the coex scenario means the default bay.
+	implicit := JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "coex"}}
+	hImplicit, err := implicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hImplicit != h4 {
+		t.Error("coex with implicit headsets_per_room should hash like the explicit default of 4")
+	}
+
+	// The field is coex-only: any other scenario must reject it rather
+	// than silently fork the cache key space.
+	bad := JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "mixed", HeadsetsPerRoom: 2}}
+	if _, err := bad.Normalize(); err == nil {
+		t.Error("headsets_per_room accepted on a non-coex scenario")
+	}
+}
+
+// TestPreCoexHashesUnchanged pins the canonical hashes of two specs as
+// computed before the coex field existed (captured from the previous
+// revision). If either moves, every pre-coex cached result would be
+// orphaned on upgrade — or worse, a changed normalization could alias
+// distinct specs.
+func TestPreCoexHashesUnchanged(t *testing.T) {
+	pinned := []struct {
+		spec JobSpec
+		hash string
+	}{
+		{
+			JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "mixed", Sessions: 8, Seed: 42}},
+			"274c87eaa36dc6fd9aab4f2a62eb53f60854cc631f36f7ca58f4c050786d809a",
+		},
+		{
+			JobSpec{Kind: "fleet"},
+			"afefca6d8d97374b03849208f9147e59021c46aa04b8cf3371fd62a75c1b8e8b",
+		},
+	}
+	for i, c := range pinned {
+		h, err := c.spec.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != c.hash {
+			t.Errorf("case %d: hash = %s, want the pre-coex hash %s", i, h, c.hash)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/movr-sim/movr/internal/sim"
+	"github.com/movr-sim/movr/internal/stats"
 	"github.com/movr-sim/movr/internal/units"
 	"github.com/movr-sim/movr/internal/vr"
 )
@@ -80,6 +81,13 @@ func Run(engine *sim.Engine, cfg Config, rate RateFunc) Report {
 	frameBits := cfg.Display.FrameBits()
 	const slices = 10 // rate re-sampling granularity within a frame
 
+	// slackBits absorbs float-rounding drift in the per-slice drain sums,
+	// so a link at exactly RequiredRateBps — which finishes each frame at
+	// the very last instant of its interval — counts as delivered. It is
+	// ~10⁻⁵ of one bit for the HTC Vive frame, far below any physical
+	// meaning.
+	slackBits := frameBits * 1e-12
+
 	rep := Report{}
 	var latencies []time.Duration
 	outage := time.Duration(0)
@@ -91,22 +99,26 @@ func Run(engine *sim.Engine, cfg Config, rate RateFunc) Report {
 			rep.Frames++
 			remaining := frameBits
 			elapsed := time.Duration(0)
-			slice := interval / slices
 			for s := 0; s < slices; s++ {
+				// Slice boundaries are fractions of the interval, so the
+				// last slice ends exactly on the frame deadline. (A fixed
+				// width interval/slices floors to whole nanoseconds and
+				// leaves the interval's tail uncovered, glitching links
+				// that are exactly fast enough.)
+				next := interval * time.Duration(s+1) / slices
 				r := rate(engine.Now() + elapsed)
-				remaining -= r * slice.Seconds()
-				elapsed += slice
-				if remaining <= 0 {
+				remaining -= r * (next - elapsed).Seconds()
+				elapsed = next
+				if remaining <= slackBits {
 					// Frame done within this slice; refine the finish
 					// time by backing out the overshoot.
-					over := -remaining
-					if r > 0 {
+					if over := -remaining; over > 0 && r > 0 {
 						elapsed -= time.Duration(over / r * float64(time.Second))
 					}
 					break
 				}
 			}
-			if remaining <= 0 && elapsed <= interval {
+			if remaining <= slackBits && elapsed <= interval {
 				rep.Delivered++
 				latencies = append(latencies, elapsed)
 				outage = 0
@@ -138,21 +150,15 @@ func Run(engine *sim.Engine, cfg Config, rate RateFunc) Report {
 	return rep
 }
 
-// percentile is a local helper (kept here to avoid importing stats just
-// for one call in the hot path).
+// percentile delegates to stats.Percentile (linear interpolation between
+// order statistics) so stream reports and fleet aggregates can never
+// disagree on what a percentile is. An earlier local copy truncated the
+// rank to an integer index, biasing P99Latency low.
 func percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	// Insertion sort: latency lists are short-lived, frames ~ thousands.
-	sorted := append([]float64(nil), xs...)
-	for i := 1; i < len(sorted); i++ {
-		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
-			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
-		}
-	}
-	idx := int(p / 100 * float64(len(sorted)-1))
-	return sorted[idx]
+	return stats.Percentile(xs, p)
 }
 
 // ConstantRate returns a RateFunc pinned at rateBps.

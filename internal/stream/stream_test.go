@@ -2,11 +2,13 @@ package stream
 
 import (
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
 
 	"github.com/movr-sim/movr/internal/sim"
+	"github.com/movr-sim/movr/internal/stats"
 	"github.com/movr-sim/movr/internal/units"
 	"github.com/movr-sim/movr/internal/vr"
 )
@@ -104,6 +106,47 @@ func TestMarginallyFastLinkLatency(t *testing.T) {
 	}
 	if rep.MeanLatency < d.FrameInterval()/2 {
 		t.Errorf("mean latency %v implausibly low for marginal link", rep.MeanLatency)
+	}
+}
+
+func TestExactRequiredRateDeliversEveryFrame(t *testing.T) {
+	// Regression: a link at *exactly* RequiredRateBps finishes each frame
+	// at the last instant of its interval. The drain loop used to cover
+	// only slices*(interval/slices) — flooring to whole nanoseconds left
+	// the interval's tail unscanned, so exactly-fast-enough links could
+	// glitch every frame.
+	d := vr.HTCVive()
+	rep := Run(sim.New(), cfg(2*time.Second), ConstantRate(RequiredRateBps(d)))
+	if rep.Delivered != rep.Frames || rep.Glitches != 0 {
+		t.Errorf("at-required-rate link: delivered %d of %d frames (%d glitches)",
+			rep.Delivered, rep.Frames, rep.Glitches)
+	}
+	// Delivery takes the whole interval: latency must not exceed it.
+	if rep.P99Latency > d.FrameInterval() {
+		t.Errorf("p99 latency %v exceeds the frame interval %v", rep.P99Latency, d.FrameInterval())
+	}
+}
+
+func TestPercentileMatchesStats(t *testing.T) {
+	// stream's percentile must agree with stats.Percentile, which the
+	// fleet aggregates use — a truncating local copy once biased
+	// P99Latency low.
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 10, 99, 1000} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 1e7
+		}
+		for _, p := range []float64{0, 1, 25, 50, 90, 99, 99.9, 100} {
+			got := percentile(xs, p)
+			want := stats.Percentile(xs, p)
+			if got != want {
+				t.Fatalf("percentile(n=%d, p=%v) = %v, stats.Percentile = %v", n, p, got, want)
+			}
+		}
+	}
+	if got := percentile(nil, 99); got != 0 {
+		t.Errorf("percentile(nil) = %v, want 0", got)
 	}
 }
 

@@ -392,6 +392,14 @@ var (
 	// ArcadeFleetN sizes four-player arcade bays for exactly n sessions.
 	ArcadeFleetN = fleet.ArcadeN
 
+	// CoexFleet generates shared-medium arcade bays: the room's one
+	// 60 GHz channel is split across its players by a round-robin TDMA
+	// airtime scheduler (idle slots reclaimed), and every other player's
+	// body moves through the room as a dynamic obstacle. CoexFleetN
+	// sizes bays for exactly n sessions.
+	CoexFleet  = fleet.Coex
+	CoexFleetN = fleet.CoexN
+
 	// ParseFleetScenario validates a scenario name and returns its
 	// FleetScenarioKind; kind.Specs(n, cfg) generates the deterministic
 	// spec set and kind.Title() the report banner.
@@ -401,6 +409,19 @@ var (
 	// order; FleetScenarioNames renders them for usage strings.
 	FleetScenarioKinds = fleet.Kinds
 	FleetScenarioNames = fleet.KindNames
+)
+
+// Coex scenario vocabulary shared by the CLI and the movrd job API, so
+// the two front-ends validate the players-per-bay knob identically.
+const (
+	// FleetScenarioCoex is the shared-medium arcade kind — the only
+	// scenario the players-per-bay knob applies to.
+	FleetScenarioCoex = fleet.KindCoex
+
+	// DefaultCoexHeadsets and MaxCoexHeadsets bound the players sharing
+	// one coex bay's medium.
+	DefaultCoexHeadsets = fleet.DefaultCoexHeadsets
+	MaxCoexHeadsets     = fleet.MaxCoexHeadsets
 )
 
 // HeatmapConfig and HeatmapResult parameterize and report the coverage

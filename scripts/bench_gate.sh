@@ -31,7 +31,7 @@ out_dir="${BENCH_OUT_DIR:-.}"
 
 [ -f "$baseline" ] || {
     echo "bench-gate: baseline $baseline not found" >&2
-    echo "bench-gate: generate one with: go run ./cmd/movrsim bench -bench-out $baseline" >&2
+    echo "bench-gate: generate one with: go run ./cmd/movrsim -bench-out $baseline bench" >&2
     exit 1
 }
 
