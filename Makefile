@@ -31,9 +31,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Run the named perf suite and write BENCH_<git-sha>.json (see the
-# README's "Performance workflow" section). `go run` embeds no VCS
-# revision, so the sha is passed explicitly.
+# Run the named perf suite — one fleet entry per scenario kind, the
+# coex airtime-policy family (fleet/coex{,pf,edf}) included — and write
+# BENCH_<git-sha>.json (see the README's "Performance workflow"
+# section). `go run` embeds no VCS revision, so the sha is passed
+# explicitly.
 bench-suite:
 	MOVR_GIT_SHA=$$(git rev-parse --short=12 HEAD) $(GO) run ./cmd/movrsim bench
 

@@ -28,8 +28,13 @@
 //	-fast         reduce run counts and sweep resolution for a quick pass
 //	-workers N    worker-pool size for fleet, fig9 and map (0 = all cores)
 //	-sessions N   fleet session count (default 24)
-//	-scenario S   fleet scenario: mixed|arcade|home|dense|coex (default mixed)
-//	-players N    players sharing each coex bay's medium (coex only, default 4)
+//	-scenario S   fleet scenario: mixed|arcade|home|dense|coex|coexpf|coexedf
+//	              (default mixed)
+//	-players N    players sharing each coex bay's medium (coex family, default 4)
+//	-coex-policy P airtime policy for coex bays: rr|pf|edf (coex family, default rr;
+//	              the coexpf/coexedf scenarios force pf/edf)
+//	-uplink D     pose-report uplink sub-slot reserved per player per scheduling
+//	              window, e.g. 200us (coex family, default 0 = off)
 //
 // Bench flags (see the README's "Performance workflow" section):
 //
@@ -57,7 +62,9 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size for fleet, fig9 and map (0 = all cores)")
 	sessions := flag.Int("sessions", 24, "fleet session count")
 	scenario := flag.String("scenario", "mixed", "fleet scenario: "+movr.FleetScenarioNames())
-	players := flag.Int("players", 0, "players sharing each coex bay's medium (coex scenario; 0 = 4)")
+	players := flag.Int("players", 0, "players sharing each coex bay's medium (coex scenarios; 0 = 4)")
+	coexPolicy := flag.String("coex-policy", "", "airtime policy for coex bays: "+movr.CoexPolicyNames()+" (coex scenarios; default rr)")
+	uplink := flag.Duration("uplink", 0, "pose-uplink sub-slot reserved per player per window (coex scenarios; 0 = off)")
 	benchOut := flag.String("bench-out", "", "bench report path (default BENCH_<git-sha>.json)")
 	benchCompare := flag.String("bench-compare", "", "baseline BENCH_*.json to gate against")
 	benchTolPct := flag.Float64("bench-tol-pct", 50, "allowed ns/op regression in percent")
@@ -82,11 +89,11 @@ func main() {
 		os.Exit(2)
 	}
 	// -players mirrors the daemon's headsets_per_room validation: only
-	// meaningful for the coex scenario, bounded the same way.
+	// meaningful for the coex scenario family, bounded the same way.
 	if *players != 0 {
 		switch {
-		case kind != movr.FleetScenarioCoex:
-			fmt.Fprintf(os.Stderr, "movrsim: -players is only meaningful with -scenario %s\n\n", movr.FleetScenarioCoex)
+		case !movr.IsCoexFleetScenario(kind):
+			fmt.Fprintf(os.Stderr, "movrsim: -players is only meaningful with the coex scenarios\n\n")
 			usage()
 			os.Exit(2)
 		case *players < 0:
@@ -95,6 +102,44 @@ func main() {
 			os.Exit(2)
 		case *players > movr.MaxCoexHeadsets:
 			fmt.Fprintf(os.Stderr, "movrsim: -players %d exceeds the limit of %d\n\n", *players, movr.MaxCoexHeadsets)
+			usage()
+			os.Exit(2)
+		}
+	}
+	// -coex-policy mirrors the daemon's coex_policy validation,
+	// including the rule that a policy-suffixed scenario must not carry
+	// a conflicting explicit policy.
+	policy, err := movr.ParseCoexPolicy(*coexPolicy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "movrsim: %v\n\n", err)
+		usage()
+		os.Exit(2)
+	}
+	if *coexPolicy != "" && !movr.IsCoexFleetScenario(kind) {
+		fmt.Fprintf(os.Stderr, "movrsim: -coex-policy is only meaningful with the coex scenarios\n\n")
+		usage()
+		os.Exit(2)
+	}
+	forced := map[movr.FleetScenarioKind]movr.CoexPolicyName{
+		movr.FleetScenarioCoexPF:  movr.CoexPolicyPF,
+		movr.FleetScenarioCoexEDF: movr.CoexPolicyEDF,
+	}
+	if want, ok := forced[kind]; ok {
+		if *coexPolicy != "" && policy != want {
+			fmt.Fprintf(os.Stderr, "movrsim: -scenario %s conflicts with -coex-policy %s\n\n", kind, *coexPolicy)
+			usage()
+			os.Exit(2)
+		}
+		policy = want
+	}
+	if *uplink != 0 {
+		switch {
+		case !movr.IsCoexFleetScenario(kind):
+			fmt.Fprintf(os.Stderr, "movrsim: -uplink is only meaningful with the coex scenarios\n\n")
+			usage()
+			os.Exit(2)
+		case *uplink < 0:
+			fmt.Fprintf(os.Stderr, "movrsim: -uplink %v must not be negative\n\n", *uplink)
 			usage()
 			os.Exit(2)
 		}
@@ -124,7 +169,7 @@ func main() {
 	case "ablations":
 		runAblations(*seed)
 	case "fleet":
-		runFleet(*seed, *workers, *sessions, *players, kind, *fast)
+		runFleet(*seed, *workers, *sessions, *players, policy, *uplink, kind, *fast)
 	case "bench":
 		runBench(*benchOut, *benchCompare, *benchTolPct, *benchAllocTol, *fast)
 	case "all":
@@ -148,7 +193,7 @@ func main() {
 		fmt.Println()
 		runAblations(*seed)
 		fmt.Println()
-		runFleet(*seed, *workers, *sessions, *players, kind, *fast)
+		runFleet(*seed, *workers, *sessions, *players, policy, *uplink, kind, *fast)
 	default:
 		fmt.Fprintf(os.Stderr, "movrsim: unknown experiment %q\n\n", cmd)
 		usage()
@@ -231,11 +276,28 @@ func runMap(workers int) {
 	fmt.Print(movr.RunHeatmap(with).Render("VR coverage — AP + MoVR reflector"))
 }
 
-func runFleet(seed int64, workers, sessions, players int, kind movr.FleetScenarioKind, fast bool) {
-	cfg := movr.FleetScenarioConfig{Seed: seed, Duration: 10 * time.Second, HeadsetsPerRoom: players}
+func runFleet(seed int64, workers, sessions, players int, policy movr.CoexPolicyName, uplink time.Duration, kind movr.FleetScenarioKind, fast bool) {
+	cfg := movr.FleetScenarioConfig{
+		Seed:            seed,
+		Duration:        10 * time.Second,
+		HeadsetsPerRoom: players,
+		CoexPolicy:      policy,
+		CoexUplink:      uplink,
+	}
 	if fast {
 		cfg.Duration = 2 * time.Second
 		cfg.ReEvalPeriod = 100 * time.Millisecond
+	}
+	// Shared-medium runs lead with a self-describing header, so a saved
+	// report records which airtime policy and bay population produced
+	// it. Legacy scenarios print nothing extra — their output stays
+	// byte-identical.
+	if movr.IsCoexFleetScenario(kind) {
+		perRoom := players
+		if perRoom <= 0 {
+			perRoom = movr.DefaultCoexHeadsets
+		}
+		fmt.Printf("coex: policy=%s players=%d uplink=%v\n\n", policy, perRoom, uplink)
 	}
 	// The spec set comes from the same generator the movrd job API
 	// uses, so CLI runs and server jobs cannot drift apart.

@@ -34,13 +34,20 @@
 //     heavy experiment sweeps (coverage heatmap, Fig 9 trials, the
 //     ablations) fan out through the same pool;
 //   - a shared-medium coexistence model (internal/coex, the CoexFleet
-//     "coex" scenario): multi-headset arcade bays where one 60 GHz
-//     channel is split across the room's players by a round-robin TDMA
+//     "coex" scenario family): multi-headset arcade bays where one
+//     60 GHz channel is split across the room's players by a TDMA
 //     airtime scheduler at the tracking cadence — body-blocked players'
 //     slots are reclaimed by the others — and every co-player walks its
 //     own motion trace through the room as a dynamic obstacle. The
 //     first workload where per-player delivered rate degrades as
-//     players per room grow;
+//     players per room grow. Slot sizing is a pluggable AirtimePolicy:
+//     round-robin ("rr", the default), proportional-fair ("pf", shares
+//     follow each player's recent geometric link quality), and
+//     deadline-aware ("edf", slots quantized to the display's
+//     frame-deadline grid), all weight-aware, with an optional
+//     pose-report uplink reservation per player per window — see the
+//     README's "Airtime policies" section for the policy menu and the
+//     movrsim/movrd knobs;
 //   - a simulation-as-a-service daemon (cmd/movrd over internal/server):
 //     a job API with SSE progress streams, a scheduler that multiplexes
 //     concurrent jobs onto one shared bounded session pool with 429

@@ -174,7 +174,8 @@ func TestCompareSchemaMismatchFails(t *testing.T) {
 func TestSuiteShape(t *testing.T) {
 	want := []string{
 		"tracer/office2b", "linkmgr/step", "fig9/trial",
-		"fleet/mixed", "fleet/arcade", "fleet/home", "fleet/dense", "fleet/coex",
+		"fleet/mixed", "fleet/arcade", "fleet/home", "fleet/dense",
+		"fleet/coex", "fleet/coexpf", "fleet/coexedf",
 		"movrd/submit",
 	}
 	suite := Suite()

@@ -27,7 +27,11 @@ const suiteWorkers = 2
 
 // Suite returns the named benchmark suite in report order. Benchmark
 // workloads are fixed — Options.Fast trims only repetition counts — so
-// any two reports compare per-op like for like.
+// any two reports compare per-op like for like. The per-scenario fleet
+// entries cover every generator kind, the coex airtime-policy family
+// (fleet/coex, fleet/coexpf, fleet/coexedf) included, so a policy that
+// starts allocating per window or regressing the scheduler hot path
+// trips the bench gate.
 func Suite() []Spec {
 	specs := []Spec{tracerSpec(), linkmgrSpec(), fig9Spec()}
 	for _, kind := range fleet.Kinds {

@@ -5,23 +5,30 @@
 //
 //   - airtime: the medium is one channel, so each player only transmits
 //     during its TDMA slots. The scheduler here splits every scheduling
-//     window (the 50 ms tracking cadence) round-robin across the room's
-//     players, and reclaims the slots of players whose direct path from
-//     the AP is body-blocked — a blocked player cannot use the air, so
-//     its share is lent to the others (the idle-reclaim policy);
+//     window (the 50 ms tracking cadence) across the room's players
+//     according to a pluggable AirtimePolicy — round-robin by default,
+//     with proportional-fair and deadline-aware alternatives — and
+//     reclaims the slots of players whose direct path from the AP is
+//     body-blocked: a blocked player cannot use the air, so its share is
+//     lent to the others (the idle-reclaim policy). Each window may also
+//     reserve a pose-report uplink sub-slot per active player (the
+//     paper's 50 ms tracking cadence runs over the same medium), which
+//     is subtracted from the downlink airtime before any video bits fly;
 //   - blockage: every other player's body is a moving obstacle on this
 //     player's mmWave paths. The experiments layer feeds the same peer
 //     traces used for scheduling into the ray tracer's world as dynamic
 //     body obstacles.
 //
-// The scheduler is deterministic and purely geometric: the active set of
-// each window is computed from the players' motion traces at the window
-// start, so every session in a room — simulated independently and
-// concurrently — derives the identical schedule.
+// The scheduler is deterministic and purely geometric: every quantity a
+// policy may consult — the active set, link quality, deadline grid — is
+// a pure function of the window index and the players' motion traces, so
+// every session in a room (simulated independently and concurrently)
+// derives the identical schedule regardless of query order.
 package coex
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/movr-sim/movr/internal/geom"
@@ -54,11 +61,36 @@ type Room struct {
 	// BodyRadiusM is the blocking radius of a player's body for the
 	// idle-reclaim line-of-sight test. Zero means room.BodyRadiusM.
 	BodyRadiusM float64
+
+	// Policy selects the airtime policy that sizes the per-player
+	// sub-slots of every window. Empty means PolicyRR, the historical
+	// round-robin even split.
+	Policy PolicyName
+
+	// Weights are per-player airtime weights applied by every policy
+	// (a weight-2 player receives twice the share of a weight-1 player,
+	// all else equal). Nil means equal weights; otherwise the length
+	// must match Players and every weight must be positive and finite.
+	Weights []float64
+
+	// UplinkSlot reserves a pose-report uplink sub-slot of this length
+	// per active player at the head of every scheduling window — the
+	// tracking report the paper's 50 ms cadence carries back to the VR
+	// PC over the same medium. The reservation is subtracted from the
+	// window's downlink airtime: no session's Share is ever 1 inside
+	// it. Zero disables the reservation (the historical behavior).
+	// UplinkSlot × len(Players) must stay below Period.
+	UplinkSlot time.Duration
+
+	// FrameInterval is the display deadline grid the deadline-aware
+	// policy (PolicyEDF) quantizes slot sizes to. Zero means the HTC
+	// Vive frame interval (≈11.1 ms at 90 Hz).
+	FrameInterval time.Duration
 }
 
 // Scheduler computes this session's airtime share of the room's medium
 // over virtual time. It caches the most recent scheduling window, so the
-// mostly-monotonic time queries of a streaming run cost one active-set
+// mostly-monotonic time queries of a streaming run cost one policy
 // evaluation per window. A Scheduler is stateful scratch and must not be
 // shared between sessions; build one per streamed session.
 type Scheduler struct {
@@ -67,13 +99,30 @@ type Scheduler struct {
 	period  time.Duration
 	radius  float64
 	ap      geom.Vec
+	weights []float64
+	uplink  time.Duration
+	frame   time.Duration
+	policy  AirtimePolicy
 
 	// Cached window: the sub-slot [slotStart, slotEnd) assigned to Self
-	// inside window winIdx, or active=false when Self's slots were
-	// reclaimed.
+	// inside window winIdx (selfActive=false when Self's slots were
+	// reclaimed or sized to nothing), plus the end of the window's
+	// uplink pose reservation.
 	winIdx             int64
-	active             bool
+	selfActive         bool
 	slotStart, slotEnd time.Duration
+	upEnd              time.Duration
+
+	// Reusable per-window scratch (computeWindow is allocation-free):
+	// player poses and the active set at the window start, the policy's
+	// share vector, and a second pose buffer for quality lookbacks so
+	// policies can evaluate past windows without clobbering the current
+	// one.
+	poses     []geom.Vec
+	activeSet []bool
+	shares    []float64
+	lbPoses   []geom.Vec
+	win       Window
 }
 
 // NewScheduler validates the room and builds the session's scheduler.
@@ -99,24 +148,64 @@ func NewScheduler(rm Room, ap geom.Vec) (*Scheduler, error) {
 	if radius <= 0 {
 		radius = room.BodyRadiusM
 	}
-	return &Scheduler{
-		players: rm.Players,
-		self:    rm.Self,
-		period:  period,
-		radius:  radius,
-		ap:      ap,
-		winIdx:  -1,
-	}, nil
+	if rm.Weights != nil {
+		if len(rm.Weights) != len(rm.Players) {
+			return nil, fmt.Errorf("coex: %d weights for %d players", len(rm.Weights), len(rm.Players))
+		}
+		for i, w := range rm.Weights {
+			if !(w > 0) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("coex: player %d weight %v must be positive and finite", i, w)
+			}
+		}
+	}
+	if rm.UplinkSlot < 0 {
+		return nil, fmt.Errorf("coex: uplink slot %v must not be negative", rm.UplinkSlot)
+	}
+	if res := rm.UplinkSlot * time.Duration(len(rm.Players)); res >= period {
+		return nil, fmt.Errorf("coex: uplink reservation %v (%d players × %v) leaves no downlink airtime in a %v window",
+			res, len(rm.Players), rm.UplinkSlot, period)
+	}
+	frame := rm.FrameInterval
+	if frame <= 0 {
+		frame = vr.HTCVive().FrameInterval()
+	}
+	n := len(rm.Players)
+	s := &Scheduler{
+		players:   rm.Players,
+		self:      rm.Self,
+		period:    period,
+		radius:    radius,
+		ap:        ap,
+		weights:   rm.Weights,
+		uplink:    rm.UplinkSlot,
+		frame:     frame,
+		winIdx:    -1,
+		poses:     make([]geom.Vec, n),
+		activeSet: make([]bool, n),
+		shares:    make([]float64, n),
+		lbPoses:   make([]geom.Vec, n),
+	}
+	policy, err := newPolicy(rm.Policy, n)
+	if err != nil {
+		return nil, err
+	}
+	s.policy = policy
+	s.win.sched = s
+	return s, nil
 }
 
 // Players returns the number of headsets sharing the medium.
 func (s *Scheduler) Players() int { return len(s.players) }
 
+// Policy returns the name of the active airtime policy.
+func (s *Scheduler) Policy() PolicyName { return s.policy.Name() }
+
 // Share returns this session's airtime multiplier at virtual time t: 1
-// inside its own TDMA sub-slot, 0 outside. Slots rotate round-robin
-// window to window, so a player's slot sweeps every phase of the frame
-// cadence over a session, and the sub-slots of body-blocked players are
-// redistributed to the active ones.
+// inside its own TDMA sub-slot, 0 outside — including the window-head
+// pose-uplink reservation, during which no session's downlink is on the
+// air. Slot order rotates window to window, so a player's slot sweeps
+// every phase of the frame cadence over a session, and the sub-slots of
+// body-blocked players are redistributed to the active ones.
 func (s *Scheduler) Share(t time.Duration) float64 {
 	if t < 0 {
 		t = 0
@@ -124,7 +213,10 @@ func (s *Scheduler) Share(t time.Duration) float64 {
 	if win := int64(t / s.period); win != s.winIdx {
 		s.computeWindow(win)
 	}
-	if s.active && t >= s.slotStart && t < s.slotEnd {
+	if t < s.upEnd {
+		return 0 // pose-uplink reservation holds the medium
+	}
+	if s.selfActive && t >= s.slotStart && t < s.slotEnd {
 		return 1
 	}
 	return 0
@@ -132,65 +224,123 @@ func (s *Scheduler) Share(t time.Duration) float64 {
 
 // Wrap composes the schedule into a link-rate function: the wrapped rate
 // is the underlying link rate during this session's slots and zero while
-// another player holds the medium.
+// another player holds the medium (or the pose uplink does).
 func (s *Scheduler) Wrap(rate stream.RateFunc) stream.RateFunc {
 	return func(now time.Duration) float64 {
 		return rate(now) * s.Share(now)
 	}
 }
 
-// computeWindow evaluates the active set at the start of window win and
-// assigns the window's sub-slots: active players split the window evenly
-// in round-robin order (the rotation offset advances every window), and
-// blocked players get nothing — their airtime is reclaimed. When every
-// player is blocked there is nothing to reclaim and the schedule falls
-// back to an even split over everyone.
+// shareScale returns the integer weight scale policy share fractions
+// are quantized to before the sub-slot boundaries are computed. Integer
+// boundary arithmetic keeps the partition exact — the last slot ends on
+// the next window to the nanosecond — and makes equal shares reproduce
+// the historical round-robin boundaries bit for bit (the scale factor
+// cancels). The scale is the downlink span itself (in nanoseconds)
+// whenever that cannot overflow the boundary products, so a policy that
+// returns slot widths — the deadline-aware policy, whose boundaries
+// must land exactly on the frame grid — round-trips them untouched.
+func shareScale(down time.Duration) int64 {
+	scale := int64(down)
+	if lim := (int64(1) << 62) / scale; scale > lim {
+		scale = lim
+	}
+	return scale
+}
+
+// computeWindow evaluates the active set at the start of window win,
+// reserves the pose-uplink sub-slots, and asks the policy to size the
+// active players' shares of the remaining downlink span. Sub-slots are
+// laid out contiguously in cyclic player order from the window's
+// rotation offset; blocked players get nothing — their airtime is
+// reclaimed. When every player is blocked there is nothing to reclaim
+// and the active set falls back to everyone.
 func (s *Scheduler) computeWindow(win int64) {
 	s.winIdx = win
 	start := s.period * time.Duration(win)
 
 	n := len(s.players)
-	poses := make([]geom.Vec, n)
 	for i, tr := range s.players {
-		poses[i] = tr.At(start).Pos
+		s.poses[i] = tr.At(start).Pos
 	}
-	active := make([]bool, n)
 	nActive := 0
 	for i := range s.players {
-		active[i] = s.losClear(poses, i)
-		if active[i] {
+		s.activeSet[i] = s.losClear(s.poses, i)
+		if s.activeSet[i] {
 			nActive++
 		}
 	}
 	if nActive == 0 {
-		for i := range active {
-			active[i] = true
+		for i := range s.activeSet {
+			s.activeSet[i] = true
 		}
 		nActive = n
 	}
 
-	if !active[s.self] {
-		s.active = false
+	// The pose-uplink reservation at the window head: one sub-slot per
+	// active player (blocked players report nothing worth airtime), all
+	// downlink slots shifted past it.
+	up := s.uplink * time.Duration(nActive)
+	s.upEnd = start + up
+	down := s.period - up
+
+	w := &s.win
+	w.Index, w.Start, w.DownStart, w.Downlink, w.Frame = win, start, s.upEnd, down, s.frame
+	w.Poses, w.Active, w.NActive, w.Weights = s.poses, s.activeSet, nActive, s.weights
+
+	for i := range s.shares {
+		s.shares[i] = 0
+	}
+	s.policy.Shares(w, s.shares)
+
+	// Sanitize the policy output: inactive players hold no air whatever
+	// the policy says, and non-finite or non-positive shares are "no
+	// slot". A policy that zeroes everyone degrades to the even split.
+	sum := 0.0
+	for i := range s.shares {
+		if !s.activeSet[i] || !(s.shares[i] > 0) || math.IsInf(s.shares[i], 0) {
+			s.shares[i] = 0
+		}
+		sum += s.shares[i]
+	}
+	if sum <= 0 {
+		for i := range s.shares {
+			if s.activeSet[i] {
+				s.shares[i] = 1
+				sum++
+			}
+		}
+	}
+
+	// Lay the sub-slots out in cyclic order from the rotation offset,
+	// boundaries computed from the window span so the slots partition
+	// [upEnd, start+period) exactly — the same full-coverage rule
+	// stream.Run uses. Only Self's boundaries are retained; every
+	// session recomputes the identical layout from the shared traces.
+	off := int(win % int64(n))
+	scale := float64(shareScale(down))
+	var cum, cumSelf, wSelf int64
+	for o := 0; o < n; o++ {
+		i := (off + o) % n
+		var wi int64
+		if s.shares[i] > 0 {
+			wi = int64(math.Round(scale * s.shares[i] / sum))
+			if wi == 0 {
+				wi = 1
+			}
+		}
+		if i == s.self {
+			cumSelf, wSelf = cum, wi
+		}
+		cum += wi
+	}
+	if wSelf == 0 || cum == 0 {
+		s.selfActive = false
 		return
 	}
-	// Rank of self among the active players in cyclic order from the
-	// window's rotation offset.
-	rank := 0
-	for off := 0; off < n; off++ {
-		i := (int(win%int64(n)) + off) % n
-		if i == s.self {
-			break
-		}
-		if active[i] {
-			rank++
-		}
-	}
-	s.active = true
-	// Sub-slot boundaries are computed from the window span (not a
-	// pre-divided slot width) so the last slot ends exactly at the next
-	// window — the same full-coverage rule stream.Run uses.
-	s.slotStart = start + s.period*time.Duration(rank)/time.Duration(nActive)
-	s.slotEnd = start + s.period*time.Duration(rank+1)/time.Duration(nActive)
+	s.selfActive = true
+	s.slotStart = s.upEnd + down*time.Duration(cumSelf)/time.Duration(cum)
+	s.slotEnd = s.upEnd + down*time.Duration(cumSelf+wSelf)/time.Duration(cum)
 }
 
 // losClear reports whether player i's direct path from the AP is clear
@@ -210,4 +360,61 @@ func (s *Scheduler) losClear(poses []geom.Vec, i int) bool {
 		}
 	}
 	return true
+}
+
+// qualityOf returns player i's geometric link quality at the start of
+// the given window: an AP-proximity factor 1/(1+d²) discounted hard when
+// the player's direct path is body-blocked. It is a pure function of the
+// window index and the room's traces — the only link-state signal a
+// purely tracking-driven scheduler can read — and uses the lookback pose
+// scratch so policies can consult past windows while the current
+// window's poses stay live.
+func (s *Scheduler) qualityOf(win int64, i int) float64 {
+	if win < 0 {
+		win = 0
+	}
+	start := s.period * time.Duration(win)
+	for j, tr := range s.players {
+		s.lbPoses[j] = tr.At(start).Pos
+	}
+	return s.lbQuality(i)
+}
+
+// lbQuality evaluates one player's quality over the poses currently in
+// the lookback scratch.
+func (s *Scheduler) lbQuality(i int) float64 {
+	d := s.ap.Dist(s.lbPoses[i])
+	q := 1 / (1 + d*d)
+	if !s.losClear(s.lbPoses, i) {
+		q *= blockedQuality
+	}
+	return q
+}
+
+// recentQualityInto fills q with every player's mean geometric link
+// quality over the trailing qualityLookback windows ending at win — the
+// bulk form the proportional-fair policy runs every window: each
+// lookback window's poses are evaluated once for all players, instead
+// of once per player as chaining Window.RecentQuality would.
+func (s *Scheduler) recentQualityInto(win int64, q []float64) {
+	lo := win - qualityLookback + 1
+	if lo < 0 {
+		lo = 0
+	}
+	for i := range q {
+		q[i] = 0
+	}
+	for k := lo; k <= win; k++ {
+		start := s.period * time.Duration(k)
+		for j, tr := range s.players {
+			s.lbPoses[j] = tr.At(start).Pos
+		}
+		for i := range q {
+			q[i] += s.lbQuality(i)
+		}
+	}
+	n := float64(win - lo + 1)
+	for i := range q {
+		q[i] /= n
+	}
 }

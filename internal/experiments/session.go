@@ -72,12 +72,15 @@ type SessionConfig struct {
 	// Coex, when non-nil, makes the room's 60 GHz medium genuinely
 	// shared: the other players in Coex.Players walk their own motion
 	// traces as dynamic body obstacles in this session's world, and the
-	// session's link rate is gated by its TDMA airtime share (round-robin
-	// slots at Coex.Period, idle slots reclaimed). Nil keeps the
-	// historical behavior — the session has the medium to itself.
-	// Coex.Players[Coex.Self] should be this session's own motion (the
-	// scheduler substitutes the session trace there regardless, so the
-	// schedule always sees the physical motion being streamed).
+	// session's link rate is gated by its TDMA airtime share — slots at
+	// Coex.Period sized by Coex.Policy (round-robin, proportional-fair
+	// or deadline-aware; idle slots reclaimed), weighted by
+	// Coex.Weights, behind the optional Coex.UplinkSlot pose-report
+	// reservation. Nil keeps the historical behavior — the session has
+	// the medium to itself. Coex.Players[Coex.Self] should be this
+	// session's own motion (the scheduler substitutes the session trace
+	// there regardless, so the schedule always sees the physical motion
+	// being streamed).
 	Coex *coex.Room
 
 	// Variants selects which system variants Session runs. Nil runs all

@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"github.com/movr-sim/movr/internal/coex"
 )
 
 // coexTestCfg is the seeded configuration every coexistence test runs
@@ -43,6 +45,72 @@ func TestCoexContentionMonotone(t *testing.T) {
 	}
 	if !(coex2 < arcade) {
 		t.Errorf("2-player shared bay (%.4f) should deliver strictly less than independent arcade (%.4f)", coex2, arcade)
+	}
+}
+
+// TestCoexPolicyAcceptance is the airtime-policy acceptance property:
+// under 4-player contention on the pinned seed, the proportional-fair
+// and deadline-aware policies each deliver a mean per-player rate at
+// least as high as the round-robin default — pf by steering airtime to
+// the players whose tracked geometry can use it, edf by refusing to
+// split airtime across display frame deadlines (a slot boundary in the
+// middle of a frame interval wastes the air on both sides of it).
+func TestCoexPolicyAcceptance(t *testing.T) {
+	cfg := coexTestCfg()
+	rr := meanDelivered(t, Coex(1, 4, cfg))
+
+	pfCfg := cfg
+	pfCfg.CoexPolicy = coex.PolicyPF
+	pf := meanDelivered(t, Coex(1, 4, pfCfg))
+
+	edfCfg := cfg
+	edfCfg.CoexPolicy = coex.PolicyEDF
+	edf := meanDelivered(t, Coex(1, 4, edfCfg))
+
+	t.Logf("mean delivered under 4-player contention: rr=%.4f pf=%.4f edf=%.4f", rr, pf, edf)
+	if pf < rr {
+		t.Errorf("proportional-fair mean delivered %.4f fell below round-robin %.4f", pf, rr)
+	}
+	if edf < rr {
+		t.Errorf("deadline-aware mean delivered %.4f fell below round-robin %.4f", edf, rr)
+	}
+}
+
+// TestCoexPolicyKindsThreadThePolicy pins the policy plumbing: the
+// coexpf/coexedf kinds (and the explicit CoexPolicy knob) arrive in
+// every generated session's coex room, along with the uplink and weight
+// knobs, while the plain coex kind stays on the round-robin default.
+func TestCoexPolicyKindsThreadThePolicy(t *testing.T) {
+	cfg := coexTestCfg()
+	cfg.CoexUplink = 300 * time.Microsecond
+	cfg.CoexWeights = []float64{1, 2}
+	for kind, want := range map[Kind]coex.PolicyName{
+		KindCoex:    "",
+		KindCoexPF:  coex.PolicyPF,
+		KindCoexEDF: coex.PolicyEDF,
+	} {
+		specs := mustSpecs(t, kind, 4, cfg)
+		for _, sp := range specs {
+			rm := sp.Session.Coex
+			if rm == nil {
+				t.Fatalf("%s session %q has no coex room", kind, sp.ID)
+			}
+			if rm.Policy != want {
+				t.Errorf("%s session %q: policy %q, want %q", kind, sp.ID, rm.Policy, want)
+			}
+			if rm.UplinkSlot != cfg.CoexUplink {
+				t.Errorf("%s session %q: uplink %v, want %v", kind, sp.ID, rm.UplinkSlot, cfg.CoexUplink)
+			}
+			if len(rm.Weights) != 4 || rm.Weights[0] != 1 || rm.Weights[1] != 2 || rm.Weights[2] != 1 || rm.Weights[3] != 2 {
+				t.Errorf("%s session %q: weights %v, want the cycled [1 2 1 2]", kind, sp.ID, rm.Weights)
+			}
+		}
+	}
+	if !IsCoexKind(KindCoex) || !IsCoexKind(KindCoexPF) || !IsCoexKind(KindCoexEDF) {
+		t.Error("IsCoexKind must cover the whole coex family")
+	}
+	if IsCoexKind(KindMixed) || IsCoexKind(KindArcade) {
+		t.Error("IsCoexKind must reject non-coex kinds")
 	}
 }
 

@@ -28,8 +28,23 @@ type ScenarioConfig struct {
 	Seed int64
 
 	// HeadsetsPerRoom sets how many players share each coex bay's
-	// medium (coex scenario only; 0 means 4).
+	// medium (coex-family scenarios only; 0 means 4).
 	HeadsetsPerRoom int
+
+	// CoexPolicy selects the airtime policy of every coex bay's TDMA
+	// scheduler (coex-family scenarios only; empty means round-robin).
+	// The coexpf and coexedf kinds force it to pf and edf respectively.
+	CoexPolicy coex.PolicyName
+
+	// CoexUplink reserves a pose-report uplink sub-slot of this length
+	// per active player at the head of every scheduling window of a
+	// coex bay, subtracted from the downlink airtime (0 = off).
+	CoexUplink time.Duration
+
+	// CoexWeights are per-player airtime weights applied to every coex
+	// bay, cycled when a bay holds more players than weights. Nil means
+	// equal weights.
+	CoexWeights []float64
 }
 
 func (cfg ScenarioConfig) withDefaults() ScenarioConfig {
@@ -63,13 +78,26 @@ const (
 	KindHome   Kind = "home"
 	KindDense  Kind = "dense"
 	KindCoex   Kind = "coex"
+
+	// KindCoexPF and KindCoexEDF are the coex scenario with the
+	// proportional-fair and deadline-aware airtime policies forced on —
+	// shorthand kinds so the policy family is one -scenario flag away
+	// and gets its own bench suite entries.
+	KindCoexPF  Kind = "coexpf"
+	KindCoexEDF Kind = "coexedf"
 )
 
 // Kinds lists the recognised scenario kinds in menu order.
-var Kinds = []Kind{KindMixed, KindArcade, KindHome, KindDense, KindCoex}
+var Kinds = []Kind{KindMixed, KindArcade, KindHome, KindDense, KindCoex, KindCoexPF, KindCoexEDF}
+
+// IsCoexKind reports whether the kind is a shared-medium scenario — the
+// family the players-per-bay, airtime-policy and uplink knobs apply to.
+func IsCoexKind(k Kind) bool {
+	return k == KindCoex || k == KindCoexPF || k == KindCoexEDF
+}
 
 // KindNames renders the menu for usage strings:
-// "mixed|arcade|home|dense|coex".
+// "mixed|arcade|home|dense|coex|coexpf|coexedf".
 func KindNames() string {
 	names := make([]string, len(Kinds))
 	for i, k := range Kinds {
@@ -104,6 +132,12 @@ func (k Kind) Specs(n int, cfg ScenarioConfig) ([]Spec, error) {
 		return DenseBlockers(n, defaultDenseBlockers, cfg), nil
 	case KindCoex:
 		return CoexN(n, cfg), nil
+	case KindCoexPF:
+		cfg.CoexPolicy = coex.PolicyPF
+		return CoexN(n, cfg), nil
+	case KindCoexEDF:
+		cfg.CoexPolicy = coex.PolicyEDF
+		return CoexN(n, cfg), nil
 	}
 	return nil, fmt.Errorf("unknown scenario %q (%s)", string(k), KindNames())
 }
@@ -121,6 +155,10 @@ func (k Kind) Title() string {
 		return fmt.Sprintf("Fleet — dense-blocker stress (office + %d obstacles)", defaultDenseBlockers)
 	case KindCoex:
 		return "Fleet — VR arcade, shared medium (TDMA airtime + inter-player blockage)"
+	case KindCoexPF:
+		return "Fleet — VR arcade, shared medium (proportional-fair airtime + inter-player blockage)"
+	case KindCoexEDF:
+		return "Fleet — VR arcade, shared medium (deadline-aware airtime + inter-player blockage)"
 	}
 	return "Fleet"
 }
@@ -187,13 +225,15 @@ func ArcadeN(n int, cfg ScenarioConfig) []Spec {
 
 // Coex generates contended VR-arcade bays: the same 8 m × 8 m
 // three-reflector rooms as Arcade, but the bay's one 60 GHz channel is
-// genuinely shared. Each player transmits only during its round-robin
-// TDMA slots of the tracking cadence (slots of body-blocked players are
-// reclaimed by the others — coex.Scheduler), and every other player's
-// body follows its own motion trace through the room as a dynamic
-// obstacle instead of standing at a fixed station. This is the first
-// workload where per-player delivered rate degrades as headsetsPerRoom
-// grows.
+// genuinely shared. Each player transmits only during its TDMA slots of
+// the tracking cadence, sized by cfg.CoexPolicy (round-robin by
+// default; slots of body-blocked players are reclaimed by the others —
+// coex.Scheduler), optionally behind a per-player pose-uplink
+// reservation (cfg.CoexUplink) and per-player weights
+// (cfg.CoexWeights), and every other player's body follows its own
+// motion trace through the room as a dynamic obstacle instead of
+// standing at a fixed station. This is the first workload where
+// per-player delivered rate degrades as headsetsPerRoom grows.
 func Coex(rooms, headsetsPerRoom int, cfg ScenarioConfig) []Spec {
 	if rooms <= 0 {
 		rooms = 1
@@ -206,6 +246,17 @@ func Coex(rooms, headsetsPerRoom int, cfg ScenarioConfig) []Spec {
 	const w, d = 8, 8
 	mounts := append(experiments.DefaultMounts(w, d),
 		experiments.Mount{Pos: geom.V(w/2, 0), FacingDeg: 90})
+
+	// One weight vector serves every bay (cycled over the room's
+	// players); every session of a room shares the same backing slice,
+	// like the trace set.
+	var weights []float64
+	if len(cfg.CoexWeights) > 0 {
+		weights = make([]float64, headsetsPerRoom)
+		for h := range weights {
+			weights[h] = cfg.CoexWeights[h%len(cfg.CoexWeights)]
+		}
+	}
 
 	var specs []Spec
 	for r := 0; r < rooms; r++ {
@@ -232,9 +283,12 @@ func Coex(rooms, headsetsPerRoom int, cfg ScenarioConfig) []Spec {
 			sess.RoomW, sess.RoomD = w, d
 			sess.Mounts = mounts
 			sess.Coex = &coex.Room{
-				Players: traces,
-				Self:    h,
-				Period:  cfg.ReEvalPeriod,
+				Players:    traces,
+				Self:       h,
+				Period:     cfg.ReEvalPeriod,
+				Policy:     cfg.CoexPolicy,
+				Weights:    weights,
+				UplinkSlot: cfg.CoexUplink,
 			}
 			specs = append(specs, Spec{
 				ID:      fmt.Sprintf("coex/r%d/h%d", r, h),

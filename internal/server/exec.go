@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/movr-sim/movr/internal/coex"
 	"github.com/movr-sim/movr/internal/experiments"
 	"github.com/movr-sim/movr/internal/fleet"
 	"github.com/movr-sim/movr/internal/fleet/pool"
@@ -87,6 +88,7 @@ func executeFleet(ctx context.Context, f FleetJobSpec, runner *pool.Runner, onSe
 		Duration:        f.fleetDuration(),
 		ReEvalPeriod:    f.reEvalPeriod(),
 		HeadsetsPerRoom: f.HeadsetsPerRoom,
+		CoexPolicy:      coex.PolicyName(f.CoexPolicy),
 	}
 	base, err := kind.Specs(f.Sessions, scfg)
 	if err != nil {
@@ -106,6 +108,9 @@ func executeFleet(ctx context.Context, f FleetJobSpec, runner *pool.Runner, onSe
 		return fleet.Result{}, "", err
 	}
 	title := kind.Title()
+	if f.CoexPolicy != "" {
+		title += " [policy=" + f.CoexPolicy + "]"
+	}
 	if len(f.Variants) > 1 {
 		title += " [" + strings.Join(f.Variants, "+") + "]"
 	}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/movr-sim/movr/internal/coex"
 	"github.com/movr-sim/movr/internal/experiments"
 	"github.com/movr-sim/movr/internal/fleet"
 )
@@ -54,8 +55,9 @@ type JobSpec struct {
 
 // FleetJobSpec parameterizes a multi-session fleet run.
 type FleetJobSpec struct {
-	// Scenario is the generator kind: mixed|arcade|home|dense
-	// (default mixed).
+	// Scenario is the generator kind: mixed|arcade|home|dense|coex|
+	// coexpf|coexedf (default mixed). The coexpf/coexedf shorthands
+	// normalize to scenario "coex" with the matching coex_policy.
 	Scenario string `json:"scenario,omitempty"`
 
 	// Sessions is the session count (default 8, max 256).
@@ -76,11 +78,19 @@ type FleetJobSpec struct {
 	Variants []string `json:"variants,omitempty"`
 
 	// HeadsetsPerRoom sets how many players share each coex bay's
-	// 60 GHz medium (coex scenario only; default 4, max 8). It must be
-	// zero for every other scenario, and is omitted from the canonical
-	// encoding when zero — so specs from before the coex scenario keep
-	// their hashes and cached results stay valid.
+	// 60 GHz medium (coex-family scenarios only; default 4, max 8). It
+	// must be zero for every other scenario, and is omitted from the
+	// canonical encoding when zero — so specs from before the coex
+	// scenario keep their hashes and cached results stay valid.
 	HeadsetsPerRoom int `json:"headsets_per_room,omitempty"`
+
+	// CoexPolicy selects the airtime policy of every coex bay's TDMA
+	// scheduler: rr|pf|edf (coex-family scenarios only). Normalization
+	// folds the round-robin default to the empty string — so pre-policy
+	// coex specs keep their hashes — and folds the coexpf/coexedf
+	// scenario shorthands into scenario "coex" with the matching
+	// policy, so the two spellings share one cache entry.
+	CoexPolicy string `json:"coex_policy,omitempty"`
 }
 
 // Fig9JobSpec parameterizes the §5.2 SNR-improvement study.
@@ -206,6 +216,27 @@ func (f FleetJobSpec) normalize() (FleetJobSpec, error) {
 	case f.ReEvalMS < minFleetReEvalMS:
 		return FleetJobSpec{}, fmt.Errorf("spec: reeval_ms %d below the minimum of %d", f.ReEvalMS, minFleetReEvalMS)
 	}
+	// Fold the policy-suffixed scenario shorthands into the canonical
+	// form — scenario "coex" plus an explicit policy — so both
+	// spellings of one workload share a single cache entry.
+	fold := func(kind fleet.Kind, policy coex.PolicyName) error {
+		if f.CoexPolicy != "" && f.CoexPolicy != string(policy) {
+			return fmt.Errorf("spec: scenario %q conflicts with coex_policy %q", kind, f.CoexPolicy)
+		}
+		f.Scenario = string(fleet.KindCoex)
+		f.CoexPolicy = string(policy)
+		return nil
+	}
+	switch fleet.Kind(f.Scenario) {
+	case fleet.KindCoexPF:
+		if err := fold(fleet.KindCoexPF, coex.PolicyPF); err != nil {
+			return FleetJobSpec{}, err
+		}
+	case fleet.KindCoexEDF:
+		if err := fold(fleet.KindCoexEDF, coex.PolicyEDF); err != nil {
+			return FleetJobSpec{}, err
+		}
+	}
 	if f.Scenario == string(fleet.KindCoex) {
 		switch {
 		case f.HeadsetsPerRoom == 0:
@@ -215,8 +246,22 @@ func (f FleetJobSpec) normalize() (FleetJobSpec, error) {
 		case f.HeadsetsPerRoom > fleet.MaxCoexHeadsets:
 			return FleetJobSpec{}, fmt.Errorf("spec: headsets_per_room %d exceeds the limit of %d", f.HeadsetsPerRoom, fleet.MaxCoexHeadsets)
 		}
-	} else if f.HeadsetsPerRoom != 0 {
-		return FleetJobSpec{}, fmt.Errorf("spec: headsets_per_room is only meaningful for the %q scenario", fleet.KindCoex)
+		if _, err := coex.ParsePolicy(f.CoexPolicy); err != nil {
+			return FleetJobSpec{}, fmt.Errorf("spec: %w", err)
+		}
+		if f.CoexPolicy == string(coex.PolicyRR) {
+			// The round-robin default is canonically spelled as the
+			// empty (omitted) field, so pre-policy specs keep their
+			// hashes and cached results stay valid.
+			f.CoexPolicy = ""
+		}
+	} else {
+		if f.HeadsetsPerRoom != 0 {
+			return FleetJobSpec{}, fmt.Errorf("spec: headsets_per_room is only meaningful for the %q scenario family", fleet.KindCoex)
+		}
+		if f.CoexPolicy != "" {
+			return FleetJobSpec{}, fmt.Errorf("spec: coex_policy is only meaningful for the %q scenario family", fleet.KindCoex)
+		}
 	}
 	if len(f.Variants) == 0 {
 		f.Variants = []string{"tracking"}

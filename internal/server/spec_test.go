@@ -147,6 +147,92 @@ func TestCoexFieldHashes(t *testing.T) {
 	}
 }
 
+// TestCoexPolicyFieldHashes pins the cache-correctness contract of the
+// coex_policy field: policies hash apart (no stale cache hits across
+// policies), the round-robin default hashes exactly as coex specs did
+// before the field existed, and the coexpf/coexedf scenario shorthands
+// normalize — and therefore hash — identically to their canonical
+// scenario-plus-policy spelling.
+func TestCoexPolicyFieldHashes(t *testing.T) {
+	hash := func(s JobSpec) string {
+		t.Helper()
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	base := hash(JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "coex", Seed: 7}})
+	pf := hash(JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "coex", CoexPolicy: "pf", Seed: 7}})
+	edf := hash(JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "coex", CoexPolicy: "edf", Seed: 7}})
+	if base == pf || base == edf || pf == edf {
+		t.Error("specs differing only in coex_policy must hash apart")
+	}
+
+	// The round-robin default, spelled explicitly, is the same spec.
+	if rr := hash(JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "coex", CoexPolicy: "rr", Seed: 7}}); rr != base {
+		t.Error("explicit coex_policy \"rr\" should hash like the implicit default")
+	}
+
+	// The scenario shorthands are the same specs as their canonical
+	// spellings.
+	if got := hash(JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "coexpf", Seed: 7}}); got != pf {
+		t.Error("scenario \"coexpf\" should hash like scenario \"coex\" + coex_policy \"pf\"")
+	}
+	if got := hash(JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "coexedf", Seed: 7}}); got != edf {
+		t.Error("scenario \"coexedf\" should hash like scenario \"coex\" + coex_policy \"edf\"")
+	}
+
+	// Shorthand kinds accept a matching explicit policy and reject a
+	// conflicting one.
+	if got := hash(JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "coexpf", CoexPolicy: "pf", Seed: 7}}); got != pf {
+		t.Error("scenario \"coexpf\" with matching coex_policy should hash like the shorthand alone")
+	}
+	bad := []JobSpec{
+		{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "coexpf", CoexPolicy: "edf"}},
+		{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "coex", CoexPolicy: "fifo"}},
+		{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "mixed", CoexPolicy: "pf"}},
+	}
+	for i, s := range bad {
+		if _, err := s.Normalize(); err == nil {
+			t.Errorf("case %d: Normalize accepted an invalid coex_policy combination", i)
+		}
+	}
+}
+
+// TestPrePolicyCoexHashesUnchanged pins the canonical hashes of three
+// coex specs as computed before the coex_policy field existed (captured
+// from the previous revision). If any moves, every cached coex result
+// would be orphaned on upgrade.
+func TestPrePolicyCoexHashesUnchanged(t *testing.T) {
+	pinned := []struct {
+		spec JobSpec
+		hash string
+	}{
+		{
+			JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "coex", Seed: 7}},
+			"cca3cea5afad6fdc0b845a0d143d43fcba0bb5798071bbc88a98463a923fc7de",
+		},
+		{
+			JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "coex", HeadsetsPerRoom: 2, Seed: 7}},
+			"003776d27ff890ec9437a63a7842466c2aa65eeae76373747a535e23b6cfef01",
+		},
+		{
+			JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "coex", Sessions: 16, HeadsetsPerRoom: 8, Seed: 42, DurationMS: 1000}},
+			"c26891c17f575890200e1a876333972de50e4189454ebbc35e1a86d394ca9410",
+		},
+	}
+	for i, c := range pinned {
+		h, err := c.spec.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != c.hash {
+			t.Errorf("case %d: hash = %s, want the pre-policy hash %s", i, h, c.hash)
+		}
+	}
+}
+
 // TestPreCoexHashesUnchanged pins the canonical hashes of two specs as
 // computed before the coex field existed (captured from the previous
 // revision). If either moves, every pre-coex cached result would be

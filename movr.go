@@ -5,6 +5,7 @@ import (
 	"github.com/movr-sim/movr/internal/antenna"
 	"github.com/movr-sim/movr/internal/baseline"
 	"github.com/movr-sim/movr/internal/channel"
+	"github.com/movr-sim/movr/internal/coex"
 	"github.com/movr-sim/movr/internal/control"
 	"github.com/movr-sim/movr/internal/experiments"
 	"github.com/movr-sim/movr/internal/fleet"
@@ -186,8 +187,8 @@ type (
 	FleetScenarioConfig = fleet.ScenarioConfig
 
 	// FleetScenarioKind names a scenario generator
-	// (mixed|arcade|home|dense) — the shared vocabulary of the movrsim
-	// -scenario flag and the movrd job API.
+	// (mixed|arcade|home|dense|coex|coexpf|coexedf) — the shared
+	// vocabulary of the movrsim -scenario flag and the movrd job API.
 	FleetScenarioKind = fleet.Kind
 )
 
@@ -393,10 +394,13 @@ var (
 	ArcadeFleetN = fleet.ArcadeN
 
 	// CoexFleet generates shared-medium arcade bays: the room's one
-	// 60 GHz channel is split across its players by a round-robin TDMA
-	// airtime scheduler (idle slots reclaimed), and every other player's
-	// body moves through the room as a dynamic obstacle. CoexFleetN
-	// sizes bays for exactly n sessions.
+	// 60 GHz channel is split across its players by a TDMA airtime
+	// scheduler under a pluggable policy (round-robin by default, with
+	// idle slots reclaimed; FleetScenarioConfig.CoexPolicy selects
+	// proportional-fair or deadline-aware sizing, CoexUplink reserves
+	// per-player pose-report sub-slots, CoexWeights skews airtime), and
+	// every other player's body moves through the room as a dynamic
+	// obstacle. CoexFleetN sizes bays for exactly n sessions.
 	CoexFleet  = fleet.Coex
 	CoexFleetN = fleet.CoexN
 
@@ -412,16 +416,68 @@ var (
 )
 
 // Coex scenario vocabulary shared by the CLI and the movrd job API, so
-// the two front-ends validate the players-per-bay knob identically.
+// the two front-ends validate the players-per-bay and airtime-policy
+// knobs identically.
 const (
-	// FleetScenarioCoex is the shared-medium arcade kind — the only
-	// scenario the players-per-bay knob applies to.
-	FleetScenarioCoex = fleet.KindCoex
+	// FleetScenarioCoex is the shared-medium arcade kind;
+	// FleetScenarioCoexPF and FleetScenarioCoexEDF are the same bays
+	// with the proportional-fair and deadline-aware airtime policies
+	// forced on. The coex family is the only set of scenarios the
+	// players-per-bay, policy and uplink knobs apply to.
+	FleetScenarioCoex    = fleet.KindCoex
+	FleetScenarioCoexPF  = fleet.KindCoexPF
+	FleetScenarioCoexEDF = fleet.KindCoexEDF
 
 	// DefaultCoexHeadsets and MaxCoexHeadsets bound the players sharing
 	// one coex bay's medium.
 	DefaultCoexHeadsets = fleet.DefaultCoexHeadsets
 	MaxCoexHeadsets     = fleet.MaxCoexHeadsets
+
+	// CoexPolicyRR, CoexPolicyPF and CoexPolicyEDF name the pluggable
+	// airtime policies a coex bay's TDMA scheduler can run: the
+	// round-robin even split, proportional-fair sizing by recent
+	// geometric link quality, and deadline-aware sizing quantized to
+	// the display's frame-deadline grid.
+	CoexPolicyRR  = coex.PolicyRR
+	CoexPolicyPF  = coex.PolicyPF
+	CoexPolicyEDF = coex.PolicyEDF
+)
+
+// Shared-medium coexistence types (internal/coex): the per-session
+// airtime scheduler and its pluggable policy surface.
+type (
+	// CoexRoom describes one shared-medium room from a session's point
+	// of view — the player traces, this session's slot, and the
+	// scheduling knobs (policy, weights, uplink reservation).
+	CoexRoom = coex.Room
+
+	// CoexScheduler computes a session's airtime share over virtual
+	// time under the room's policy.
+	CoexScheduler = coex.Scheduler
+
+	// CoexAirtimePolicy sizes the per-player sub-slots of every
+	// scheduling window; CoexPolicyName names the built-in policies.
+	CoexAirtimePolicy = coex.AirtimePolicy
+	CoexPolicyName    = coex.PolicyName
+)
+
+// Airtime-policy helpers shared by the movrsim CLI and the movrd job
+// API.
+var (
+	// NewCoexScheduler validates a shared room and builds one session's
+	// airtime scheduler.
+	NewCoexScheduler = coex.NewScheduler
+
+	// ParseCoexPolicy validates an airtime-policy name ("" = rr);
+	// CoexPolicies lists the policies and CoexPolicyNames renders the
+	// "rr|pf|edf" menu for usage strings.
+	ParseCoexPolicy = coex.ParsePolicy
+	CoexPolicies    = coex.Policies
+	CoexPolicyNames = coex.PolicyNames
+
+	// IsCoexFleetScenario reports whether a scenario kind belongs to
+	// the shared-medium family the coex knobs apply to.
+	IsCoexFleetScenario = fleet.IsCoexKind
 )
 
 // HeatmapConfig and HeatmapResult parameterize and report the coverage

@@ -11,6 +11,14 @@
 #   BENCH_OUT_DIR    where the fresh BENCH_<sha>.json lands (default .)
 #   BENCH_FAST       non-empty trims repetitions (CI smoke)
 #
+# The suite is defined by internal/bench.Suite and covers one fleet run
+# per scenario kind — the coex airtime-policy family (fleet/coex,
+# fleet/coexpf, fleet/coexedf) included — so a policy that regresses the
+# scheduler hot path or starts allocating per window fails here. The
+# comparison also rejects a shrunken suite: a baseline entry missing
+# from the fresh report is an error, so new suite entries must land
+# together with a regenerated baseline (make bench-baseline).
+#
 # The fresh report is kept for upload as a CI artifact — the repo's perf
 # trajectory, one BENCH_<sha>.json per revision. To re-baseline after an
 # intentional perf change: copy the fresh report over BENCH_baseline.json
