@@ -60,10 +60,35 @@
 //     allocation-free in steady state (TraceInto/TraceHInto reuse
 //     caller-retained path buffers over per-wall transforms precomputed
 //     at NewTracer time, golden-tested bit-identical to the original
-//     tracer), and a named benchmark suite writes schema-versioned
-//     BENCH_<git-sha>.json reports that scripts/bench_gate.sh compares
-//     against the committed BENCH_baseline.json in CI, failing on
-//     regressions. See the README's "Performance workflow" section.
+//     tracer), temporal coherence caches tick-over-tick work (see
+//     "Shared-room geometry" below), and a named benchmark suite writes
+//     schema-versioned BENCH_<git-sha>.json reports that
+//     scripts/bench_gate.sh compares against the committed
+//     BENCH_baseline.json in CI, printing a per-entry delta table and
+//     failing on regressions. See the README's "Performance workflow"
+//     section.
+//
+// # Shared-room geometry
+//
+// In a shared bay the schedule and the peer poses conceptually belong
+// to the room, not to any one session — every co-located session must
+// derive the identical schedule. The simulator makes that ownership
+// literal: coex.BuildGeometry precomputes a room-owned snapshot (every
+// player's pose on the world-tick grid plus every player's slot
+// boundaries for every scheduling window over the horizon), the fleet
+// generator builds it once per room, and all of the room's sessions
+// read it instead of re-evaluating the airtime policy N times per
+// window. The snapshot is recorded by running the scheduler's own
+// window-layout code, live evaluation remains the fallback beyond its
+// horizon, and pose queries answer only exact on-grid times — so
+// results with and without the snapshot are bit-identical, pinned end
+// to end by golden tests that compare whole per-session streaming
+// reports with ==. One layer down, channel.PathCache applies the same
+// temporal-coherence idea to ray tracing: each link leg caches last
+// tick's path set and revalidates only the blockage legs that moved
+// geometry could have changed, re-tracing in full when endpoints or
+// walls change. See ARCHITECTURE.md for the layer map and the
+// per-layer determinism guarantees.
 //
 // # Quick start
 //

@@ -77,6 +77,10 @@ type VGA struct {
 	cfg     Config
 	word    int
 	enabled bool
+
+	// satMw caches DBmToMilliwatts(PsatDBm), fixed at construction;
+	// lazily filled for zero-value literals.
+	satMw float64
 }
 
 // New validates cfg and returns a VGA set to minimum gain, enabled.
@@ -90,7 +94,7 @@ func New(cfg Config) (*VGA, error) {
 	if cfg.RappP <= 0 {
 		return nil, fmt.Errorf("amplifier: RappP %v must be positive", cfg.RappP)
 	}
-	return &VGA{cfg: cfg, enabled: true}, nil
+	return &VGA{cfg: cfg, enabled: true, satMw: units.DBmToMilliwatts(cfg.PsatDBm)}, nil
 }
 
 // Default returns a VGA with DefaultConfig.
@@ -183,8 +187,16 @@ func (v *VGA) SupplyCurrentA(inDBm float64) float64 {
 	if !v.enabled {
 		return 0.02 // standby draw
 	}
-	outLin := units.DBmToMilliwatts(v.OutputPowerDBm(inDBm))
-	satLin := units.DBmToMilliwatts(v.cfg.PsatDBm)
+	// The envelope term and the compression term both need the output
+	// power; evaluate the (pure) Rapp model once and derive the
+	// compression depth from it, exactly as CompressionDB does.
+	out := v.OutputPowerDBm(inDBm)
+	outLin := units.DBmToMilliwatts(out)
+	satLin := v.satMw
+	if satLin == 0 { // zero-value literal VGA; New precomputes this
+		satLin = units.DBmToMilliwatts(v.cfg.PsatDBm)
+		v.satMw = satLin
+	}
 	frac := outLin / satLin
 	if frac > 1 {
 		frac = 1
@@ -192,7 +204,7 @@ func (v *VGA) SupplyCurrentA(inDBm float64) float64 {
 	// Class-AB-like: current grows with the output envelope.
 	i := v.cfg.QuiescentA + v.cfg.SlopeA*math.Sqrt(frac)
 	// Compression spike: logistic in compression depth, centred at 1 dB.
-	c := v.CompressionDB(inDBm)
+	c := inDBm + v.GainDB() - out
 	i += v.cfg.SpikeA / (1 + math.Exp(-(c-1)/0.15))
 	return i
 }

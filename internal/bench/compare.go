@@ -44,6 +44,27 @@ func allocSlack(ba float64) float64 {
 	return allocNoiseFloor + rel
 }
 
+// Delta is one benchmark's movement between baseline and fresh run,
+// reported for every suite entry whether or not a bound was violated.
+type Delta struct {
+	// Name is the suite entry.
+	Name string
+
+	// BaseNsPerOp and FreshNsPerOp are the per-op wall times; BaseNsPerOp
+	// is zero when the benchmark is new in the fresh run.
+	BaseNsPerOp, FreshNsPerOp float64
+
+	// Pct is the relative time change in percent, negative for
+	// improvements; meaningless when New.
+	Pct float64
+
+	// BaseAllocs and FreshAllocs are the per-op allocation counts.
+	BaseAllocs, FreshAllocs float64
+
+	// New marks a benchmark present only in the fresh run (not gated).
+	New bool
+}
+
 // Comparison is the outcome of holding a fresh report against a
 // baseline.
 type Comparison struct {
@@ -52,14 +73,31 @@ type Comparison struct {
 
 	// Notes are informational (new benchmarks, improvements).
 	Notes []string
+
+	// Deltas holds one entry per benchmark, in baseline order with
+	// fresh-only entries appended — the full movement table, not just
+	// the violations.
+	Deltas []Delta
 }
 
 // OK reports whether the fresh run passed.
 func (c Comparison) OK() bool { return len(c.Regressions) == 0 }
 
-// Render formats the comparison for terminals.
+// Render formats the comparison for terminals: the per-entry delta
+// table (every benchmark's baseline vs fresh ns/op and relative
+// change), then notes, then any violated bounds, then the verdict.
 func (c Comparison) Render() string {
 	var b strings.Builder
+	if len(c.Deltas) > 0 {
+		fmt.Fprintf(&b, "%-24s %15s %15s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+		for _, d := range c.Deltas {
+			if d.New {
+				fmt.Fprintf(&b, "%-24s %15s %15.0f %9s\n", d.Name, "—", d.FreshNsPerOp, "new")
+				continue
+			}
+			fmt.Fprintf(&b, "%-24s %15.0f %15.0f %+8.1f%%\n", d.Name, d.BaseNsPerOp, d.FreshNsPerOp, d.Pct)
+		}
+	}
 	for _, n := range c.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
@@ -111,6 +149,17 @@ func Compare(baseline, fresh Report, tol Tolerance) Comparison {
 				"%s: present in baseline but missing from the fresh run", base.Name))
 			continue
 		}
+		d := Delta{
+			Name:         base.Name,
+			BaseNsPerOp:  base.NsPerOp,
+			FreshNsPerOp: got.NsPerOp,
+			BaseAllocs:   base.AllocsPerOp,
+			FreshAllocs:  got.AllocsPerOp,
+		}
+		if base.NsPerOp > 0 {
+			d.Pct = 100 * (got.NsPerOp - base.NsPerOp) / base.NsPerOp
+		}
+		c.Deltas = append(c.Deltas, d)
 		if limit := base.NsPerOp * (1 + tol.TimePct/100); got.NsPerOp > limit {
 			msg := fmt.Sprintf(
 				"%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%% (limit %.0f)",
@@ -136,6 +185,9 @@ func Compare(baseline, fresh Report, tol Tolerance) Comparison {
 		if !baseNames[r.Name] {
 			c.Notes = append(c.Notes, fmt.Sprintf(
 				"%s: new benchmark (not in baseline, not gated)", r.Name))
+			c.Deltas = append(c.Deltas, Delta{
+				Name: r.Name, FreshNsPerOp: r.NsPerOp, FreshAllocs: r.AllocsPerOp, New: true,
+			})
 		}
 	}
 	return c

@@ -10,6 +10,7 @@ import (
 
 	"github.com/movr-sim/movr/internal/antenna"
 	"github.com/movr-sim/movr/internal/channel"
+	"github.com/movr-sim/movr/internal/coex"
 	"github.com/movr-sim/movr/internal/control"
 	"github.com/movr-sim/movr/internal/experiments"
 	"github.com/movr-sim/movr/internal/fleet"
@@ -19,6 +20,7 @@ import (
 	"github.com/movr-sim/movr/internal/reflector"
 	"github.com/movr-sim/movr/internal/room"
 	"github.com/movr-sim/movr/internal/server"
+	"github.com/movr-sim/movr/internal/vr"
 )
 
 // suiteWorkers pins the worker-pool width every parallel benchmark uses,
@@ -33,7 +35,7 @@ const suiteWorkers = 2
 // starts allocating per window or regressing the scheduler hot path
 // trips the bench gate.
 func Suite() []Spec {
-	specs := []Spec{tracerSpec(), linkmgrSpec(), fig9Spec()}
+	specs := []Spec{tracerSpec(), linkmgrSpec(), coexSnapshotSpec(), fig9Spec()}
 	for _, kind := range fleet.Kinds {
 		specs = append(specs, fleetSpec(kind))
 	}
@@ -99,6 +101,61 @@ func linkmgrSpec() Spec {
 				if st.SNRdB == 0 {
 					return fmt.Errorf("no link state")
 				}
+			}
+			return nil
+		},
+	}
+}
+
+// coexSnapshotSpec measures the room-owned geometry snapshot layer:
+// building the full pose table and window-schedule table for a
+// four-player shared bay (coex.BuildGeometry — one airtime-policy
+// evaluation per window over the horizon) and then serving one
+// session's schedule reads from it across every window. This is the
+// per-room cost the fleet generator pays once so its sessions stop
+// re-running the policy N times per window.
+func coexSnapshotSpec() Spec {
+	const dur = 2 * time.Second
+	traces := make([]vr.Trace, 4)
+	var genErr error
+	for i := range traces {
+		trCfg := vr.DefaultTraceConfig(8, 8, int64(20+i))
+		trCfg.Duration = dur
+		traces[i], genErr = vr.Generate(trCfg)
+		if genErr != nil {
+			break
+		}
+	}
+	rm := coex.Room{
+		Players:    traces,
+		Period:     50 * time.Millisecond,
+		Policy:     coex.PolicyPF,
+		UplinkSlot: 300 * time.Microsecond,
+	}
+	return Spec{
+		Name:   "coex/snapshot",
+		Warmup: 3,
+		Reps:   20,
+		Op: func() error {
+			if genErr != nil {
+				return genErr
+			}
+			geo, err := experiments.BuildCoexGeometry(rm, dur)
+			if err != nil {
+				return err
+			}
+			snap := rm
+			snap.Geometry = geo
+			s, err := coex.NewScheduler(snap, experiments.APPos)
+			if err != nil {
+				return err
+			}
+			sum := 0.0
+			for t := time.Duration(0); t < dur; t += time.Millisecond {
+				sum += s.Share(t)
+			}
+			if sum <= 0 {
+				return fmt.Errorf("schedule never granted airtime")
 			}
 			return nil
 		},

@@ -1,0 +1,236 @@
+package channel
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/room"
+)
+
+// comparePaths requires two traced path sets to be bitwise identical,
+// including order.
+func comparePaths(t *testing.T, tag string, got, want []Path) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d paths, want %d", tag, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Kind != w.Kind || g.Bounces != w.Bounces ||
+			g.AoDDeg != w.AoDDeg || g.AoADeg != w.AoADeg ||
+			g.LengthM != w.LengthM || g.ReflLossDB != w.ReflLossDB ||
+			g.BlockLossDB != w.BlockLossDB || len(g.Points) != len(w.Points) {
+			t.Fatalf("%s: path %d differs:\n got %+v\nwant %+v", tag, i, g, w)
+		}
+		for j := range g.Points {
+			if g.Points[j] != w.Points[j] {
+				t.Fatalf("%s: path %d point %d %v != %v", tag, i, j, g.Points[j], w.Points[j])
+			}
+		}
+	}
+}
+
+// TestPathCacheBitIdenticalUnderMotion drives a cached leg through the
+// full mix of steady, obstacle-moving, and endpoint-moving queries and
+// requires every emission to match a fresh uncached trace bit for bit.
+func TestPathCacheBitIdenticalUnderMotion(t *testing.T) {
+	rm := room.NewOffice5x5()
+	body := rm.AddObstacle(room.Body(geom.V(2.5, 2.5)))
+	hand := rm.AddObstacle(room.Hand(geom.V(-10, -10)))
+	tr := NewTracer(rm, DefaultBudget().FreqHz, 2)
+	ref := NewTracer(rm, DefaultBudget().FreqHz, 2)
+	c := NewPathCache(tr)
+
+	rng := rand.New(rand.NewSource(9))
+	a, b := geom.V(0.4, 0.4), geom.V(3.4, 2.4)
+	var buf, refBuf []Path
+	for step := 0; step < 400; step++ {
+		switch rng.Intn(6) {
+		case 0:
+			// Peer body drifts (possibly across the leg).
+			rm.MoveObstacle(body, geom.V(rng.Float64()*5, rng.Float64()*5))
+		case 1:
+			// Hand toggles between parked and raised in front of the leg.
+			if rng.Intn(2) == 0 {
+				rm.MoveObstacle(hand, geom.V(-10, -10))
+			} else {
+				rm.MoveObstacle(hand, geom.V(1+rng.Float64()*3, 1+rng.Float64()*3))
+			}
+		case 2:
+			// Receiver endpoint moves (headset walking).
+			b = geom.V(0.5+rng.Float64()*4, 0.5+rng.Float64()*4)
+		default:
+			// Steady tick: nothing moved since the last query.
+		}
+		buf = c.TraceHInto(0, buf[:0], a, b, HeightAPM, HeightHeadsetM)
+		refBuf = ref.TraceHInto(refBuf[:0], a, b, HeightAPM, HeightHeadsetM)
+		comparePaths(t, "motion", buf, refBuf)
+	}
+	st := c.Stats()
+	if st.Hits == 0 || st.Revalidations == 0 || st.Misses == 0 {
+		t.Fatalf("fuzz did not exercise all tiers: %+v", st)
+	}
+}
+
+// TestPathCachePeerCrossesLeg pins the revalidation edge the coex rooms
+// hit every tick: a peer body marching straight across a cached LoS leg
+// must change the emitted blockage at every step — no stale cached paths
+// — and match a fresh trace exactly, via the revalidation tier.
+func TestPathCachePeerCrossesLeg(t *testing.T) {
+	rm := room.NewOffice5x5()
+	body := rm.AddObstacle(room.Body(geom.V(2.5, 4.5)))
+	tr := NewTracer(rm, DefaultBudget().FreqHz, 1)
+	ref := NewTracer(rm, DefaultBudget().FreqHz, 1)
+	c := NewPathCache(tr)
+
+	a, b := geom.V(0.4, 2.5), geom.V(4.6, 2.5)
+	var buf, refBuf []Path
+	// Warm the slot (miss), then trigger contribution recording (miss).
+	buf = c.TraceHInto(0, buf[:0], a, b, 1.5, 1.5)
+	rm.MoveObstacle(body, geom.V(2.5, 4.4))
+	buf = c.TraceHInto(0, buf[:0], a, b, 1.5, 1.5)
+
+	sawBlocked := false
+	var lastDirect float64
+	for i := 0; i <= 40; i++ {
+		// March from y=4.0 down through the leg at y=2.5 and beyond.
+		rm.MoveObstacle(body, geom.V(2.5, 4.0-float64(i)*0.1))
+		before := c.Stats().Revalidations
+		buf = c.TraceHInto(0, buf[:0], a, b, 1.5, 1.5)
+		if c.Stats().Revalidations != before+1 {
+			t.Fatalf("step %d: expected a revalidation, stats %+v", i, c.Stats())
+		}
+		refBuf = ref.TraceHInto(refBuf[:0], a, b, 1.5, 1.5)
+		comparePaths(t, "crossing", buf, refBuf)
+		for _, p := range buf {
+			if p.Kind == Direct {
+				if p.BlockLossDB > 10 {
+					sawBlocked = true
+				}
+				lastDirect = p.BlockLossDB
+			}
+		}
+	}
+	if !sawBlocked {
+		t.Fatal("the crossing body never blocked the cached leg; test geometry is wrong")
+	}
+	if lastDirect > 1 {
+		t.Fatalf("body past the leg but cached blockage stuck at %v dB", lastDirect)
+	}
+}
+
+// TestPathCacheAddWallForcesRetrace pins the wall-set invalidation edge:
+// an AddWall after the slot is cached must force a full re-trace whose
+// emission includes the new wall's reflection.
+func TestPathCacheAddWallForcesRetrace(t *testing.T) {
+	rm, err := room.New(5, 5, room.Drywall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(rm, DefaultBudget().FreqHz, 1)
+	ref := NewTracer(rm, DefaultBudget().FreqHz, 1)
+	c := NewPathCache(tr)
+
+	a, b := geom.V(1, 1), geom.V(4, 1)
+	var buf, refBuf []Path
+	buf = c.TraceHInto(0, buf[:0], a, b, 1.5, 1.5)
+	buf = c.TraceHInto(0, buf[:0], a, b, 1.5, 1.5)
+	if c.Stats().Hits != 1 {
+		t.Fatalf("steady queries should hit, stats %+v", c.Stats())
+	}
+	nBefore := len(buf)
+
+	// A whiteboard mid-room adds a reflecting surface.
+	rm.AddWall(room.Wall{Seg: geom.Seg(geom.V(1, 3), geom.V(4, 3)), Mat: room.Whiteboard})
+	misses := c.Stats().Misses
+	buf = c.TraceHInto(0, buf[:0], a, b, 1.5, 1.5)
+	if c.Stats().Misses != misses+1 {
+		t.Fatalf("AddWall did not force a re-trace, stats %+v", c.Stats())
+	}
+	if len(buf) != nBefore+1 {
+		t.Fatalf("new wall should add a bounce path: %d paths, had %d", len(buf), nBefore)
+	}
+	refBuf = ref.TraceHInto(refBuf[:0], a, b, 1.5, 1.5)
+	comparePaths(t, "addwall", buf, refBuf)
+}
+
+// TestPathCacheObstacleSetChangeForcesRetrace pins the remaining
+// invalidation edge: adding or removing an obstacle (a player entering
+// or leaving the room) changes the obstacle count and must bypass the
+// cached contributions entirely.
+func TestPathCacheObstacleSetChangeForcesRetrace(t *testing.T) {
+	rm := room.NewOffice5x5()
+	tr := NewTracer(rm, DefaultBudget().FreqHz, 1)
+	ref := NewTracer(rm, DefaultBudget().FreqHz, 1)
+	c := NewPathCache(tr)
+
+	a, b := geom.V(0.4, 2.5), geom.V(4.6, 2.5)
+	var buf, refBuf []Path
+	buf = c.TraceHInto(0, buf[:0], a, b, 1.5, 1.5)
+	buf = c.TraceHInto(0, buf[:0], a, b, 1.5, 1.5)
+
+	idx := rm.AddObstacle(room.Body(geom.V(2.5, 2.5))) // player enters, on the leg
+	misses := c.Stats().Misses
+	buf = c.TraceHInto(0, buf[:0], a, b, 1.5, 1.5)
+	if c.Stats().Misses != misses+1 {
+		t.Fatalf("obstacle add did not force a re-trace, stats %+v", c.Stats())
+	}
+	refBuf = ref.TraceHInto(refBuf[:0], a, b, 1.5, 1.5)
+	comparePaths(t, "enter", buf, refBuf)
+
+	rm.RemoveObstacle(idx) // player leaves
+	misses = c.Stats().Misses
+	buf = c.TraceHInto(0, buf[:0], a, b, 1.5, 1.5)
+	if c.Stats().Misses != misses+1 {
+		t.Fatalf("obstacle remove did not force a re-trace, stats %+v", c.Stats())
+	}
+	refBuf = ref.TraceHInto(refBuf[:0], a, b, 1.5, 1.5)
+	comparePaths(t, "leave", buf, refBuf)
+}
+
+// TestPathCacheZeroAllocs guards the steady-state budget of all three
+// warm tiers: full hits, moved-obstacle revalidations, and full
+// re-traces of a moving endpoint must not allocate once the slot and the
+// destination buffer have warmed up.
+func TestPathCacheZeroAllocs(t *testing.T) {
+	rm := room.NewOffice5x5()
+	body := rm.AddObstacle(room.Body(geom.V(2.5, 2.0)))
+	tr := NewTracer(rm, DefaultBudget().FreqHz, 2)
+	c := NewPathCache(tr)
+
+	a, b := geom.V(0.4, 0.4), geom.V(3.4, 2.4)
+	var buf []Path
+	// Warm: slot fill, contribution recording, dst growth.
+	for i := 0; i < 3; i++ {
+		rm.MoveObstacle(body, geom.V(2.5, 2.0+float64(i)*0.01))
+		buf = c.TraceHInto(0, buf[:0], a, b, 1.5, 1.7)
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = c.TraceHInto(0, buf[:0], a, b, 1.5, 1.7) // hit
+	})
+	if allocs != 0 {
+		t.Fatalf("warm hit allocates %.1f objects/op, want 0", allocs)
+	}
+
+	i := 0
+	allocs = testing.AllocsPerRun(200, func() {
+		i++
+		rm.MoveObstacle(body, geom.V(2.5, 2.0+float64(i%7)*0.05))
+		buf = c.TraceHInto(0, buf[:0], a, b, 1.5, 1.7) // revalidation
+	})
+	if allocs != 0 {
+		t.Fatalf("warm revalidation allocates %.1f objects/op, want 0", allocs)
+	}
+
+	// Moving endpoint: full re-trace tier, same buffers.
+	allocs = testing.AllocsPerRun(200, func() {
+		i++
+		bb := geom.V(3.4, 2.4+float64(i%5)*0.01)
+		buf = c.TraceHInto(0, buf[:0], a, bb, 1.5, 1.7)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm re-trace allocates %.1f objects/op, want 0", allocs)
+	}
+}

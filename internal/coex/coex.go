@@ -24,6 +24,28 @@
 // a pure function of the window index and the players' motion traces, so
 // every session in a room (simulated independently and concurrently)
 // derives the identical schedule regardless of query order.
+//
+// # Room-owned geometry snapshots
+//
+// Because the schedule and the peer poses belong to the room rather
+// than to any one session, they can be computed once per room instead
+// of once per session: BuildGeometry precomputes a Geometry — every
+// player's pose on a fixed tick grid plus every player's slot
+// boundaries for every window over a horizon — and co-located sessions
+// attach the shared snapshot via Room.Geometry. The snapshot contract:
+//
+//   - the tables are recorded by running the scheduler's own
+//     window-layout code, and live evaluation (the fallback beyond the
+//     horizon, or with no snapshot attached) runs that same code, so
+//     snapshot reads are bit-identical to live evaluation by
+//     construction;
+//   - Geometry.PoseAt answers only exact on-grid queries (ok=false off
+//     the step grid, beyond the horizon, or out of range) — callers
+//     fall back to the trace, and no pose is ever interpolated;
+//   - NewScheduler verifies the snapshot against the room's resolved
+//     configuration (players compared by trace content, policy,
+//     period, weights, uplink, frame grid) and rejects any mismatch,
+//     so a stale snapshot fails fast instead of skewing a schedule.
 package coex
 
 import (
@@ -86,6 +108,16 @@ type Room struct {
 	// policy (PolicyEDF) quantizes slot sizes to. Zero means the HTC
 	// Vive frame interval (≈11.1 ms at 90 Hz).
 	FrameInterval time.Duration
+
+	// Geometry, when non-nil, is the room-owned precomputed snapshot —
+	// peer poses and the full window schedule over the room's horizon,
+	// built once with BuildGeometry and shared read-only by every
+	// co-located session. NewScheduler verifies it was built for this
+	// room's exact configuration (traces compared by content, so a
+	// session substituting its own regenerated trace at Self still
+	// matches) and fails fast on any mismatch. Schedules read from a
+	// Geometry are bit-identical to live evaluation.
+	Geometry *Geometry
 }
 
 // Scheduler computes this session's airtime share of the room's medium
@@ -113,16 +145,28 @@ type Scheduler struct {
 	slotStart, slotEnd time.Duration
 	upEnd              time.Duration
 
+	// geo, when non-nil, is the room-owned precomputed schedule this
+	// scheduler reads windows from instead of evaluating its policy —
+	// see Geometry. Windows beyond the geometry's horizon fall back to
+	// the live layout, which is the same code the geometry was recorded
+	// from, so the fallback is bit-identical.
+	geo *Geometry
+
 	// Reusable per-window scratch (computeWindow is allocation-free):
 	// player poses and the active set at the window start, the policy's
-	// share vector, and a second pose buffer for quality lookbacks so
+	// share vector, a second pose buffer for quality lookbacks so
 	// policies can evaluate past windows without clobbering the current
-	// one.
+	// one, and the integer slot widths plus all-player slot boundaries
+	// of the window being laid out.
 	poses     []geom.Vec
 	activeSet []bool
 	shares    []float64
 	lbPoses   []geom.Vec
 	win       Window
+	wis       []int64
+	actAll    []bool
+	startAll  []time.Duration
+	endAll    []time.Duration
 }
 
 // NewScheduler validates the room and builds the session's scheduler.
@@ -184,6 +228,10 @@ func NewScheduler(rm Room, ap geom.Vec) (*Scheduler, error) {
 		activeSet: make([]bool, n),
 		shares:    make([]float64, n),
 		lbPoses:   make([]geom.Vec, n),
+		wis:       make([]int64, n),
+		actAll:    make([]bool, n),
+		startAll:  make([]time.Duration, n),
+		endAll:    make([]time.Duration, n),
 	}
 	policy, err := newPolicy(rm.Policy, n)
 	if err != nil {
@@ -191,6 +239,12 @@ func NewScheduler(rm Room, ap geom.Vec) (*Scheduler, error) {
 	}
 	s.policy = policy
 	s.win.sched = s
+	if rm.Geometry != nil {
+		if err := rm.Geometry.check(s); err != nil {
+			return nil, err
+		}
+		s.geo = rm.Geometry
+	}
 	return s, nil
 }
 
@@ -248,15 +302,41 @@ func shareScale(down time.Duration) int64 {
 	return scale
 }
 
-// computeWindow evaluates the active set at the start of window win,
+// computeWindow fills the cached window for win: from the room's
+// precomputed Geometry when one covers it, otherwise by running the
+// live layout. Both paths execute the identical integer arithmetic
+// (the geometry table is recorded from layoutWindow), so a session's
+// schedule is bit-identical with and without a room snapshot.
+func (s *Scheduler) computeWindow(win int64) {
+	s.winIdx = win
+	if g := s.geo; g != nil && win >= 0 && win < g.nWins {
+		base := int(win) * len(s.players)
+		s.upEnd = g.upEnds[win]
+		s.selfActive = g.active[base+s.self]
+		s.slotStart = g.starts[base+s.self]
+		s.slotEnd = g.ends[base+s.self]
+		return
+	}
+	s.upEnd = s.layoutWindow(win, s.actAll, s.startAll, s.endAll)
+	s.selfActive = s.actAll[s.self]
+	s.slotStart, s.slotEnd = s.startAll[s.self], s.endAll[s.self]
+}
+
+// layoutWindow evaluates the active set at the start of window win,
 // reserves the pose-uplink sub-slots, and asks the policy to size the
 // active players' shares of the remaining downlink span. Sub-slots are
 // laid out contiguously in cyclic player order from the window's
 // rotation offset; blocked players get nothing — their airtime is
 // reclaimed. When every player is blocked there is nothing to reclaim
 // and the active set falls back to everyone.
-func (s *Scheduler) computeWindow(win int64) {
-	s.winIdx = win
+//
+// The full layout — every player's sub-slot, not just Self's — is
+// written into active/starts/ends (each len(players); a player with no
+// slot gets active=false and zero boundaries) and the end of the
+// window's uplink reservation is returned. This is the single source
+// of schedule truth: the per-session cache and the room-owned Geometry
+// table are both filled from it.
+func (s *Scheduler) layoutWindow(win int64, active []bool, starts, ends []time.Duration) time.Duration {
 	start := s.period * time.Duration(win)
 
 	n := len(s.players)
@@ -281,11 +361,11 @@ func (s *Scheduler) computeWindow(win int64) {
 	// active player (blocked players report nothing worth airtime), all
 	// downlink slots shifted past it.
 	up := s.uplink * time.Duration(nActive)
-	s.upEnd = start + up
+	upEnd := start + up
 	down := s.period - up
 
 	w := &s.win
-	w.Index, w.Start, w.DownStart, w.Downlink, w.Frame = win, start, s.upEnd, down, s.frame
+	w.Index, w.Start, w.DownStart, w.Downlink, w.Frame = win, start, upEnd, down, s.frame
 	w.Poses, w.Active, w.NActive, w.Weights = s.poses, s.activeSet, nActive, s.weights
 
 	for i := range s.shares {
@@ -315,11 +395,13 @@ func (s *Scheduler) computeWindow(win int64) {
 	// Lay the sub-slots out in cyclic order from the rotation offset,
 	// boundaries computed from the window span so the slots partition
 	// [upEnd, start+period) exactly — the same full-coverage rule
-	// stream.Run uses. Only Self's boundaries are retained; every
-	// session recomputes the identical layout from the shared traces.
+	// stream.Run uses. Every session derives the identical layout from
+	// the shared traces, so recording all players' boundaries here (for
+	// the Geometry table) and reading back only Self's (per session)
+	// commute.
 	off := int(win % int64(n))
 	scale := float64(shareScale(down))
-	var cum, cumSelf, wSelf int64
+	var cum int64
 	for o := 0; o < n; o++ {
 		i := (off + o) % n
 		var wi int64
@@ -329,18 +411,23 @@ func (s *Scheduler) computeWindow(win int64) {
 				wi = 1
 			}
 		}
-		if i == s.self {
-			cumSelf, wSelf = cum, wi
-		}
+		s.wis[i] = wi
 		cum += wi
 	}
-	if wSelf == 0 || cum == 0 {
-		s.selfActive = false
-		return
+	var c int64
+	for o := 0; o < n; o++ {
+		i := (off + o) % n
+		wi := s.wis[i]
+		if wi == 0 || cum == 0 {
+			active[i], starts[i], ends[i] = false, 0, 0
+			continue
+		}
+		active[i] = true
+		starts[i] = upEnd + down*time.Duration(c)/time.Duration(cum)
+		ends[i] = upEnd + down*time.Duration(c+wi)/time.Duration(cum)
+		c += wi
 	}
-	s.selfActive = true
-	s.slotStart = s.upEnd + down*time.Duration(cumSelf)/time.Duration(cum)
-	s.slotEnd = s.upEnd + down*time.Duration(cumSelf+wSelf)/time.Duration(cum)
+	return upEnd
 }
 
 // losClear reports whether player i's direct path from the AP is clear

@@ -1,0 +1,182 @@
+package coex
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/vr"
+)
+
+// Geometry is a room-owned snapshot of everything geometric the room's
+// sessions would otherwise each rederive per tick: every player's pose
+// sampled on the world-tick grid, and the complete TDMA window schedule
+// (uplink reservation plus every player's downlink sub-slot) over the
+// room's horizon. It is built once per room — BuildGeometry runs the
+// same trace lookups and the same window layout the per-session
+// schedulers run live — and then shared read-only by all co-located
+// sessions, so N sessions in a bay evaluate the airtime policy once per
+// window instead of N times.
+//
+// Determinism contract: a schedule read from a Geometry is bit-identical
+// to one evaluated live, because the table is recorded from the very
+// function (Scheduler.layoutWindow) the live path executes, and pose
+// lookups only answer on the exact tick grid they were sampled on —
+// off-grid or out-of-horizon queries report a miss and the caller falls
+// back to the trace itself.
+type Geometry struct {
+	// Room configuration the snapshot was built for, with defaults
+	// resolved; NewScheduler rejects a Geometry whose configuration
+	// does not match the session's room exactly.
+	players []vr.Trace
+	ap      geom.Vec
+	period  time.Duration
+	radius  float64
+	uplink  time.Duration
+	frame   time.Duration
+	policy  PolicyName
+	weights []float64
+
+	// Pose table: players' positions on the [0, horizon] grid of step
+	// multiples, player-major within each tick.
+	step   time.Duration
+	nTicks int
+	poses  []geom.Vec
+
+	// Window schedule table: for each window, the end of its uplink
+	// reservation and every player's downlink sub-slot (active=false
+	// when the player's airtime was reclaimed or sized to nothing).
+	// All three per-player arrays are window-major.
+	nWins  int64
+	upEnds []time.Duration
+	active []bool
+	starts []time.Duration
+	ends   []time.Duration
+}
+
+// BuildGeometry precomputes the room snapshot for rm as seen from the
+// AP at ap: poses on the step grid and window schedules out to horizon.
+// step is the world-tick cadence the sessions advance geometry at, and
+// horizon the session duration; both must be positive. rm.Geometry is
+// ignored (a snapshot is always built from the traces, never from
+// another snapshot).
+func BuildGeometry(rm Room, ap geom.Vec, step, horizon time.Duration) (*Geometry, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("coex: geometry step %v must be positive", step)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("coex: geometry horizon %v must be positive", horizon)
+	}
+	rm.Geometry = nil
+	s, err := NewScheduler(rm, ap)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(s.players)
+	g := &Geometry{
+		players: s.players,
+		ap:      s.ap,
+		period:  s.period,
+		radius:  s.radius,
+		uplink:  s.uplink,
+		frame:   s.frame,
+		policy:  s.policy.Name(),
+		weights: s.weights,
+		step:    step,
+		nTicks:  int(horizon/step) + 1,
+	}
+
+	g.poses = make([]geom.Vec, g.nTicks*n)
+	for k := 0; k < g.nTicks; k++ {
+		t := step * time.Duration(k)
+		for i, tr := range s.players {
+			g.poses[k*n+i] = tr.At(t).Pos
+		}
+	}
+
+	g.nWins = int64(horizon/s.period) + 1
+	g.upEnds = make([]time.Duration, g.nWins)
+	g.active = make([]bool, int(g.nWins)*n)
+	g.starts = make([]time.Duration, int(g.nWins)*n)
+	g.ends = make([]time.Duration, int(g.nWins)*n)
+	for w := int64(0); w < g.nWins; w++ {
+		base := int(w) * n
+		g.upEnds[w] = s.layoutWindow(w,
+			g.active[base:base+n], g.starts[base:base+n], g.ends[base:base+n])
+	}
+	return g, nil
+}
+
+// Players returns the number of players the snapshot covers.
+func (g *Geometry) Players() int { return len(g.players) }
+
+// Windows returns the number of scheduling windows in the table.
+func (g *Geometry) Windows() int64 { return g.nWins }
+
+// Step returns the pose-table tick cadence.
+func (g *Geometry) Step() time.Duration { return g.step }
+
+// PoseAt returns player i's position at virtual time t, answered from
+// the pose table. The second return is false — and the caller must fall
+// back to the player's trace — when t is off the snapshot's tick grid,
+// beyond its horizon, or i is out of range; the table only answers
+// queries it can answer bit-identically to the trace.
+func (g *Geometry) PoseAt(i int, t time.Duration) (geom.Vec, bool) {
+	if i < 0 || i >= len(g.players) || t < 0 || t%g.step != 0 {
+		return geom.Vec{}, false
+	}
+	k := int(t / g.step)
+	if k >= g.nTicks {
+		return geom.Vec{}, false
+	}
+	return g.poses[k*len(g.players)+i], true
+}
+
+// tracesEqual compares two motion traces by content: the same samples
+// in the same order, regardless of backing storage. Sessions substitute
+// their own regenerated copy of their trace at Self, so pointer
+// equality would spuriously reject every session's room.
+func tracesEqual(a, b vr.Trace) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// check verifies the snapshot was built for exactly the configuration
+// scheduler s resolved from its room, so a stale or mismatched snapshot
+// fails at construction instead of silently skewing the schedule.
+func (g *Geometry) check(s *Scheduler) error {
+	if len(g.players) != len(s.players) {
+		return fmt.Errorf("coex: geometry built for %d players, room has %d", len(g.players), len(s.players))
+	}
+	if g.ap != s.ap {
+		return fmt.Errorf("coex: geometry built for AP at %v, room's AP is at %v", g.ap, s.ap)
+	}
+	if g.period != s.period || g.uplink != s.uplink || g.frame != s.frame || g.radius != s.radius {
+		return fmt.Errorf("coex: geometry timing/radius configuration does not match the room")
+	}
+	if g.policy != s.policy.Name() {
+		return fmt.Errorf("coex: geometry built for policy %q, room uses %q", g.policy, s.policy.Name())
+	}
+	if (g.weights == nil) != (s.weights == nil) || len(g.weights) != len(s.weights) {
+		return fmt.Errorf("coex: geometry weights do not match the room")
+	}
+	for i := range g.weights {
+		if g.weights[i] != s.weights[i] {
+			return fmt.Errorf("coex: geometry weight %d (%v) does not match the room (%v)", i, g.weights[i], s.weights[i])
+		}
+	}
+	for i := range g.players {
+		if !tracesEqual(g.players[i], s.players[i]) {
+			return fmt.Errorf("coex: geometry trace for player %d does not match the room", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package coex
+
+import (
+	"testing"
+	"time"
+
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/vr"
+)
+
+// walkers generates n seeded walking traces in a 5×5 room for dur.
+func walkers(t *testing.T, n int, dur time.Duration) []vr.Trace {
+	t.Helper()
+	traces := make([]vr.Trace, n)
+	for i := range traces {
+		cfg := vr.DefaultTraceConfig(5, 5, int64(100+i))
+		cfg.Duration = dur
+		tr, err := vr.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces[i] = tr
+	}
+	return traces
+}
+
+// TestGeometryScheduleBitIdentical is the tentpole determinism pin: a
+// scheduler reading the room-owned precomputed schedule must agree with
+// live policy evaluation bit for bit — at every instant, for every
+// player, under every policy, with uplink reservations and weights in
+// play, both inside the snapshot's horizon and beyond it (where the
+// geometry path falls back to the live layout).
+func TestGeometryScheduleBitIdentical(t *testing.T) {
+	const dur = 2 * time.Second
+	players := walkers(t, 3, dur)
+	for _, policy := range []PolicyName{PolicyRR, PolicyPF, PolicyEDF} {
+		rm := Room{
+			Players:    players,
+			Period:     50 * time.Millisecond,
+			Policy:     policy,
+			Weights:    []float64{1, 2, 1},
+			UplinkSlot: 300 * time.Microsecond,
+		}
+		geo, err := BuildGeometry(rm, apPos, 10*time.Millisecond, dur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for self := range players {
+			rm.Self = self
+			rm.Geometry = nil
+			live := mustScheduler(t, rm)
+			rm.Geometry = geo
+			snap := mustScheduler(t, rm)
+			// 313 µs strides sample uplink heads, slot interiors and
+			// boundaries at every phase; the sweep runs half a period
+			// past the horizon to cross into the fallback windows.
+			for at := time.Duration(0); at < dur+25*time.Millisecond; at += 313 * time.Microsecond {
+				if l, s := live.Share(at), snap.Share(at); l != s {
+					t.Fatalf("%s self=%d Share(%v): live %v, snapshot %v", policy, self, at, l, s)
+				}
+			}
+		}
+	}
+}
+
+// TestGeometryPoseGrid pins the pose table's answer-only-what-is-exact
+// contract: on-grid queries within the horizon equal the trace lookup,
+// while off-grid, out-of-horizon, negative-time and out-of-range
+// queries miss and defer to the caller's trace fallback.
+func TestGeometryPoseGrid(t *testing.T) {
+	const dur = time.Second
+	const step = 10 * time.Millisecond
+	players := walkers(t, 2, dur)
+	geo, err := BuildGeometry(Room{Players: players}, apPos, step, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range players {
+		for at := time.Duration(0); at <= dur; at += step {
+			p, ok := geo.PoseAt(i, at)
+			if !ok {
+				t.Fatalf("player %d PoseAt(%v) missed on the grid", i, at)
+			}
+			if want := tr.At(at).Pos; p != want {
+				t.Fatalf("player %d PoseAt(%v) = %v, trace says %v", i, at, p, want)
+			}
+		}
+	}
+	for _, bad := range []time.Duration{3 * time.Millisecond, -step, dur + step} {
+		if _, ok := geo.PoseAt(0, bad); ok {
+			t.Errorf("PoseAt(0, %v) answered off the grid or horizon", bad)
+		}
+	}
+	if _, ok := geo.PoseAt(2, 0); ok {
+		t.Error("PoseAt answered for an out-of-range player")
+	}
+}
+
+// TestGeometryCheckRejectsMismatches pins the fail-fast contract: a
+// snapshot built for a different configuration must be rejected at
+// scheduler construction, while a room whose Self trace was substituted
+// with a content-equal copy (the session engine always does this) must
+// be accepted.
+func TestGeometryCheckRejectsMismatches(t *testing.T) {
+	const dur = time.Second
+	players := walkers(t, 2, dur)
+	base := Room{Players: players, Period: 50 * time.Millisecond}
+	geo, err := BuildGeometry(base, apPos, 10*time.Millisecond, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reject := func(name string, rm Room, ap geom.Vec) {
+		t.Helper()
+		rm.Geometry = geo
+		if _, err := NewScheduler(rm, ap); err == nil {
+			t.Errorf("%s: mismatched geometry was accepted", name)
+		}
+	}
+	period := base
+	period.Period = 40 * time.Millisecond
+	reject("period", period, apPos)
+
+	policy := base
+	policy.Policy = PolicyPF
+	reject("policy", policy, apPos)
+
+	weights := base
+	weights.Weights = []float64{1, 2}
+	reject("weights", weights, apPos)
+
+	uplink := base
+	uplink.UplinkSlot = 200 * time.Microsecond
+	reject("uplink", uplink, apPos)
+
+	otherTrace := base
+	otherTrace.Players = []vr.Trace{players[0], players[0]}
+	reject("players", otherTrace, apPos)
+
+	reject("ap", base, geom.V(1, 1))
+
+	// The session engine substitutes a regenerated copy of the Self
+	// trace — same content, different backing array. That must pass.
+	subst := base
+	subst.Players = []vr.Trace{append(vr.Trace(nil), players[0]...), players[1]}
+	subst.Geometry = geo
+	if _, err := NewScheduler(subst, apPos); err != nil {
+		t.Errorf("content-equal substituted trace rejected: %v", err)
+	}
+}
+
+// TestGeometryShareZeroAllocs guards the read path: consuming a
+// precomputed schedule allocates nothing, window transitions included.
+func TestGeometryShareZeroAllocs(t *testing.T) {
+	const dur = time.Second
+	players := walkers(t, 3, dur)
+	rm := Room{Players: players, Period: 50 * time.Millisecond}
+	geo, err := BuildGeometry(rm, apPos, 10*time.Millisecond, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm.Geometry = geo
+	s := mustScheduler(t, rm)
+	at := time.Duration(0)
+	allocs := testing.AllocsPerRun(500, func() {
+		s.Share(at)
+		at += 7 * time.Millisecond
+		if at > dur {
+			at = 0
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("snapshot Share allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -139,6 +139,29 @@ var SessionVariants = []SessionVariant{
 // and tone transmission, during which the data stream is off the air).
 const realignSweepCost = 300 * time.Millisecond
 
+// WorldTick is the cadence the physical geometry (poses, raised hands,
+// peer bodies) advances at during a session, independent of the
+// controller's ReEvalPeriod. Room snapshots (coex.BuildGeometry) must
+// be sampled on this grid to answer the session's pose queries.
+const WorldTick = 10 * time.Millisecond
+
+// BuildCoexGeometry precomputes the room-owned geometry snapshot for a
+// shared room exactly as the session engine will query it: poses on the
+// WorldTick grid from the standard AP position, window schedules out to
+// the session duration. A zero rm.Period resolves to the session
+// default tracking cadence, matching runVariant. The returned snapshot
+// is shared read-only by every co-located session (set it as the
+// room's Geometry field).
+func BuildCoexGeometry(rm coex.Room, duration time.Duration) (*coex.Geometry, error) {
+	if rm.Period <= 0 {
+		rm.Period = DefaultSessionConfig().ReEvalPeriod
+	}
+	if duration <= 0 {
+		duration = DefaultSessionConfig().Duration
+	}
+	return coex.BuildGeometry(rm, APPos, WorldTick, duration)
+}
+
 // SessionResult aggregates streaming reports per variant.
 type SessionResult struct {
 	Config  SessionConfig
@@ -274,7 +297,9 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) (Vari
 	var (
 		peerTraces []vr.Trace
 		peerIdx    []int
+		peerPlayer []int
 		sched      *coex.Scheduler
+		geo        *coex.Geometry
 	)
 	if cfg.Coex != nil {
 		rm := *cfg.Coex
@@ -289,16 +314,38 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) (Vari
 			rm.Period = cfg.ReEvalPeriod
 		}
 		sched, err = coex.NewScheduler(rm, w.AP.Pos)
+		if err != nil && rm.Geometry != nil {
+			// The room snapshot is an optimization hint: a caller whose
+			// Self trace differs from the one the snapshot was built
+			// with (Coex.Players[Self] "should be" this session's
+			// motion, but is substituted regardless) falls back to live
+			// evaluation rather than failing the session.
+			rm.Geometry = nil
+			sched, err = coex.NewScheduler(rm, w.AP.Pos)
+		}
 		if err != nil {
 			return VariantOutcome{}, err
 		}
+		geo = rm.Geometry
 		for i, tr := range players {
 			if i == rm.Self {
 				continue
 			}
 			peerTraces = append(peerTraces, tr)
+			peerPlayer = append(peerPlayer, i)
 			peerIdx = append(peerIdx, w.Room.AddObstacle(room.Body(tr.At(0).Pos)))
 		}
+	}
+	// peerPos reads a peer's position from the room-owned snapshot when
+	// one covers the query (bit-identical by construction) and from the
+	// peer's trace otherwise.
+	peerPos := func(j int, t time.Duration) geom.Vec {
+		if geo != nil {
+			if p, ok := geo.PoseAt(peerPlayer[j], t); ok {
+				return p
+			}
+		}
+		return peerTraces[j].At(t).Pos
 	}
 
 	// The hand blocker follows the trace; one obstacle slot is reused.
@@ -339,10 +386,9 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) (Vari
 	// the trace rate regardless of how often the controller acts. The
 	// delivered rate is re-read passively — whatever configuration is
 	// applied, through whatever the geometry now is.
-	const worldTick = 10 * time.Millisecond
 	applyWorld := func(p vr.Pose) {
 		for j, idx := range peerIdx {
-			w.Room.MoveObstacle(idx, peerTraces[j].At(engine.Now()).Pos)
+			w.Room.MoveObstacle(idx, peerPos(j, engine.Now()))
 		}
 		if p.HandRaised {
 			w.Room.MoveObstacle(handIdx, p.HandPos())
@@ -397,7 +443,7 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) (Vari
 	// Initial state, then both cadences.
 	applyWorld(start)
 	control(start)
-	engine.Every(0, worldTick, func() {
+	engine.Every(0, WorldTick, func() {
 		applyWorld(trace.At(engine.Now()))
 	})
 	engine.Every(0, cfg.ReEvalPeriod, func() {

@@ -278,6 +278,21 @@ func Coex(rooms, headsetsPerRoom int, cfg ScenarioConfig) []Spec {
 			}
 			traces[h] = tr
 		}
+		// The room owns its geometry: one snapshot of every player's
+		// pose grid and the full window schedule, built once here and
+		// shared read-only by all of the bay's sessions — each session
+		// then reads the schedule instead of re-running the airtime
+		// policy per window.
+		geo, err := experiments.BuildCoexGeometry(coex.Room{
+			Players:    traces,
+			Period:     cfg.ReEvalPeriod,
+			Policy:     cfg.CoexPolicy,
+			Weights:    weights,
+			UplinkSlot: cfg.CoexUplink,
+		}, cfg.Duration)
+		if err != nil {
+			panic(err) // traces validated by generation above
+		}
 		for h := 0; h < headsetsPerRoom; h++ {
 			sess := cfg.session(seeds[h])
 			sess.RoomW, sess.RoomD = w, d
@@ -289,6 +304,7 @@ func Coex(rooms, headsetsPerRoom int, cfg ScenarioConfig) []Spec {
 				Policy:     cfg.CoexPolicy,
 				Weights:    weights,
 				UplinkSlot: cfg.CoexUplink,
+				Geometry:   geo,
 			}
 			specs = append(specs, Spec{
 				ID:      fmt.Sprintf("coex/r%d/h%d", r, h),

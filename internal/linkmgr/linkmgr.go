@@ -5,6 +5,16 @@
 // tracks the headset's position, we can simply leverage this information
 // to determine the best angle", §4.1), and re-runs the adaptive gain
 // control whenever beams move.
+//
+// The manager's tracking step is allocation-free and temporally
+// coherent: every recurring ray trace goes through a channel.PathCache
+// with a stable per-leg slot — slot 0 for the direct AP→headset leg,
+// slots 1+2i and 2+2i for reflector i's AP→reflector and
+// reflector→headset legs — so tick-over-tick queries revalidate
+// against their own history (only blockage legs that moved geometry
+// could have changed are recomputed) instead of re-tracing the room.
+// Cache state never changes results, only speed: cached and fresh
+// traces are bit-identical by the PathCache contract.
 package linkmgr
 
 import (
@@ -95,6 +105,10 @@ type Entry struct {
 
 	// Aligned reports whether alignment has been performed.
 	Aligned bool
+
+	gainKeyOK         bool
+	gainExt, gainLeak float64
+	gainWord          int
 }
 
 // Manager owns path selection for one AP/headset pair.
@@ -116,6 +130,40 @@ type Manager struct {
 	// (and their Points) returned through directLeg alias this buffer
 	// and are only valid until the next trace.
 	pathBuf []channel.Path
+
+	// cache memoizes traced path sets per leg with temporal coherence:
+	// when only obstacles moved since the last evaluation of a leg, the
+	// cached paths are revalidated (blockage recomputed for the moved
+	// obstacles only) instead of re-traced, and when nothing moved the
+	// cached paths are emitted as-is. Emissions are bit-identical to a
+	// fresh trace. Rebuilt lazily if Tracer is swapped.
+	cache *channel.PathCache
+}
+
+// Leg slot scheme for the path cache: the AP→headset leg uses slot 0,
+// and each reflector entry i owns slots 1+2i (AP→reflector) and 2+2i
+// (reflector→headset), so every recurring leg revalidates against its
+// own history.
+const slotDirect = 0
+
+func slotLeg1(i int) int { return 1 + 2*i }
+func slotLeg2(i int) int { return 2 + 2*i }
+
+// pc returns the manager's path cache, (re)building it if the Tracer
+// was set or swapped after construction.
+func (m *Manager) pc() *channel.PathCache {
+	if m.cache == nil || m.cache.Tracer() != m.Tracer {
+		m.cache = channel.NewPathCache(m.Tracer)
+	}
+	return m.cache
+}
+
+// directSNR traces the AP→headset leg through the path cache and
+// combines it exactly as radio.LinkSNRdBBuf does.
+func (m *Manager) directSNR() float64 {
+	m.pathBuf = m.pc().TraceHInto(slotDirect, m.pathBuf[:0],
+		m.AP.Pos, m.Headset.Pos, m.AP.HeightM, m.Headset.HeightM)
+	return m.AP.Budget.CombinedSNRdB(m.pathBuf, m.AP.Array, m.Headset.Array)
 }
 
 // New builds a Manager with the HTC Vive requirement and default gain
@@ -170,9 +218,7 @@ func (m *Manager) AlignFromGeometry(i int) error {
 func (m *Manager) EvaluateDirect() float64 {
 	m.AP.SteerToward(m.Headset.Pos)
 	m.Headset.SteerToward(m.AP.Pos)
-	var snr float64
-	snr, m.pathBuf = radio.LinkSNRdBBuf(m.Tracer, &m.AP.Radio, &m.Headset.Radio, m.pathBuf)
-	return snr
+	return m.directSNR()
 }
 
 // EvaluateReflector configures the path through reflector i — AP beam
@@ -198,18 +244,23 @@ func (m *Manager) EvaluateReflector(i int) (float64, bool) {
 
 	// First hop: AP → reflector amplifier input, over the direct leg
 	// with whatever blockage it suffers.
-	leg1 := m.directLeg(m.AP.Pos, dev.Pos(), m.AP.HeightM, dev.HeightM())
+	leg1 := m.directLeg(slotLeg1(i), m.AP.Pos, dev.Pos(), m.AP.HeightM, dev.HeightM())
 	inbound := m.AP.Budget.TXPowerDBm + m.AP.GainDBi(leg1.AoDDeg) -
 		leg1.PropagationLossDB(m.AP.Budget.FreqHz) + dev.RXGainDBi(leg1.AoADeg)
 
 	// Adaptive gain control at the current beams and drive level.
-	gainctl.Optimize(dev, inbound, m.GainCfg)
+	if leak := dev.LeakageDB(); e.gainKeyOK && e.gainExt == inbound && e.gainLeak == leak {
+		dev.Amp().SetGainWord(e.gainWord)
+	} else {
+		gainctl.Optimize(dev, inbound, m.GainCfg)
+		e.gainKeyOK, e.gainExt, e.gainLeak, e.gainWord = true, inbound, leak, dev.Amp().GainWord()
+	}
 	if !dev.Stable() || dev.SaturatedAt(inbound) {
 		return math.Inf(-1), false
 	}
 
 	// Second hop: reflector → headset.
-	leg2 := m.directLeg(dev.Pos(), m.Headset.Pos, dev.HeightM(), m.Headset.HeightM)
+	leg2 := m.directLeg(slotLeg2(i), dev.Pos(), m.Headset.Pos, dev.HeightM(), m.Headset.HeightM)
 	hop2Gain := dev.Amp().GainDB() + dev.TXGainDBi(leg2.AoDDeg) -
 		leg2.PropagationLossDB(m.AP.Budget.FreqHz) +
 		m.Headset.GainDBi(leg2.AoADeg) - m.AP.Budget.ImplLossDB
@@ -241,13 +292,13 @@ func (m *Manager) EvaluateReflectorFrozen(i int) (float64, bool) {
 	m.AP.SteerTo(e.APBeamDeg)
 	m.Headset.SteerToward(dev.Pos())
 
-	leg1 := m.directLeg(m.AP.Pos, dev.Pos(), m.AP.HeightM, dev.HeightM())
+	leg1 := m.directLeg(slotLeg1(i), m.AP.Pos, dev.Pos(), m.AP.HeightM, dev.HeightM())
 	inbound := m.AP.Budget.TXPowerDBm + m.AP.GainDBi(leg1.AoDDeg) -
 		leg1.PropagationLossDB(m.AP.Budget.FreqHz) + dev.RXGainDBi(leg1.AoADeg)
 	if !dev.Stable() || dev.SaturatedAt(inbound) {
 		return math.Inf(-1), false
 	}
-	leg2 := m.directLeg(dev.Pos(), m.Headset.Pos, dev.HeightM(), m.Headset.HeightM)
+	leg2 := m.directLeg(slotLeg2(i), dev.Pos(), m.Headset.Pos, dev.HeightM(), m.Headset.HeightM)
 	hop2Gain := dev.Amp().GainDB() + dev.TXGainDBi(leg2.AoDDeg) -
 		leg2.PropagationLossDB(m.AP.Budget.FreqHz) +
 		m.Headset.GainDBi(leg2.AoADeg) - m.AP.Budget.ImplLossDB
@@ -291,11 +342,12 @@ func (m *Manager) PrimeReflector(i int) {
 }
 
 // directLeg returns the direct path between two points at the given
-// mounting heights. The returned Path's Points alias the manager's
-// scratch buffer and are overwritten by the next trace; callers use only
-// the scalar fields (angles, length, losses), which are value copies.
-func (m *Manager) directLeg(a, b geom.Vec, hA, hB float64) channel.Path {
-	m.pathBuf = m.Tracer.TraceHInto(m.pathBuf[:0], a, b, hA, hB)
+// mounting heights, traced through the path cache under the given leg
+// slot. The returned Path's Points alias the manager's scratch buffer
+// and are overwritten by the next trace; callers use only the scalar
+// fields (angles, length, losses), which are value copies.
+func (m *Manager) directLeg(slot int, a, b geom.Vec, hA, hB float64) channel.Path {
+	m.pathBuf = m.pc().TraceHInto(slot, m.pathBuf[:0], a, b, hA, hB)
 	for _, p := range m.pathBuf {
 		if p.Kind == channel.Direct {
 			return p
@@ -357,7 +409,7 @@ func (m *Manager) Reassess() LinkState {
 		snr = m.reflectorSNRAsIs(idx)
 	} else {
 		choice = PathDirect
-		snr, m.pathBuf = radio.LinkSNRdBBuf(m.Tracer, &m.AP.Radio, &m.Headset.Radio, m.pathBuf)
+		snr = m.directSNR()
 	}
 	st := m.stateFor(choice, idx, snr)
 	// Reassessment must not upgrade PathNone back: keep the decision.
@@ -373,13 +425,13 @@ func (m *Manager) reflectorSNRAsIs(i int) float64 {
 	if !dev.Amp().Enabled() {
 		return math.Inf(-1)
 	}
-	leg1 := m.directLeg(m.AP.Pos, dev.Pos(), m.AP.HeightM, dev.HeightM())
+	leg1 := m.directLeg(slotLeg1(i), m.AP.Pos, dev.Pos(), m.AP.HeightM, dev.HeightM())
 	inbound := m.AP.Budget.TXPowerDBm + m.AP.GainDBi(leg1.AoDDeg) -
 		leg1.PropagationLossDB(m.AP.Budget.FreqHz) + dev.RXGainDBi(leg1.AoADeg)
 	if !dev.Stable() || dev.SaturatedAt(inbound) {
 		return math.Inf(-1)
 	}
-	leg2 := m.directLeg(dev.Pos(), m.Headset.Pos, dev.HeightM(), m.Headset.HeightM)
+	leg2 := m.directLeg(slotLeg2(i), dev.Pos(), m.Headset.Pos, dev.HeightM(), m.Headset.HeightM)
 	hop2Gain := dev.Amp().GainDB() + dev.TXGainDBi(leg2.AoDDeg) -
 		leg2.PropagationLossDB(m.AP.Budget.FreqHz) +
 		m.Headset.GainDBi(leg2.AoADeg) - m.AP.Budget.ImplLossDB

@@ -107,6 +107,29 @@ type Reflector struct {
 	modFreqHz  float64
 
 	ripple leakagePattern
+
+	// Leakage memo: LeakageDB is a pure function of the two steering
+	// angles (the pattern and config are fixed at construction), so the
+	// last value is reused until either beam moves. The gain-control
+	// scan calls LeakageDB once per probed gain word with the beams
+	// still, which this collapses to one pattern evaluation per
+	// steering change.
+	leakKeyOK      bool
+	leakTX, leakRX float64
+	leakVal        float64
+
+	// Feedback fixed-point memo: EffectiveAmpInputDBm is a pure
+	// function of (external input, leakage, gain word). The scan
+	// probes every word at one (ext, leakage) key, and the subsequent
+	// saturation checks — and every passive re-read until the geometry
+	// moves the drive level or a beam moves the leakage — re-ask for
+	// words already solved. fpX caches the solved input per gain word;
+	// fpValid is its per-word validity bitmap, cleared whenever the
+	// (ext, leakage) key changes.
+	fpKeyOK       bool
+	fpExt, fpLeak float64
+	fpValid       []uint64
+	fpX           []float64
 }
 
 // New validates cfg and builds the device with both beams at boresight
@@ -221,12 +244,17 @@ func (r *Reflector) Modulating() (bool, float64) { return r.modulating, r.modFre
 // without pretending the near-field coupling of two co-located arrays can
 // be derived from their far-field patterns.
 func (r *Reflector) LeakageDB() float64 {
-	relTX := units.AngleDiffDeg(r.tx.SteeringDeg(), r.cfg.MountDeg)
-	relRX := units.AngleDiffDeg(r.rx.SteeringDeg(), r.cfg.MountDeg)
+	tx, rx := r.tx.SteeringDeg(), r.rx.SteeringDeg()
+	if r.leakKeyOK && r.leakTX == tx && r.leakRX == rx {
+		return r.leakVal
+	}
+	relTX := units.AngleDiffDeg(tx, r.cfg.MountDeg)
+	relRX := units.AngleDiffDeg(rx, r.cfg.MountDeg)
 	l := r.cfg.BaseIsolationDB + r.ripple.at(relTX, relRX)
 	if l < r.cfg.MinLeakageDB {
 		l = r.cfg.MinLeakageDB
 	}
+	r.leakKeyOK, r.leakTX, r.leakRX, r.leakVal = true, tx, rx, l
 	return l
 }
 
@@ -256,6 +284,32 @@ func (r *Reflector) EffectiveAmpInputDBm(extDBm float64) float64 {
 		return extDBm
 	}
 	l := r.LeakageDB()
+	w := r.amp.GainWord()
+	if r.fpKeyOK && r.fpExt == extDBm && r.fpLeak == l {
+		if r.fpValid[w>>6]&(1<<(uint(w)&63)) != 0 {
+			return r.fpX[w]
+		}
+	} else {
+		if r.fpX == nil {
+			n := r.amp.Words()
+			r.fpX = make([]float64, n)
+			r.fpValid = make([]uint64, (n+63)/64)
+		}
+		for i := range r.fpValid {
+			r.fpValid[i] = 0
+		}
+		r.fpKeyOK, r.fpExt, r.fpLeak = true, extDBm, l
+	}
+	v := r.solveFeedback(extDBm, l)
+	r.fpX[w] = v
+	r.fpValid[w>>6] |= 1 << (uint(w) & 63)
+	return v
+}
+
+// solveFeedback runs the fixed-point iteration for the current gain word
+// at the given external input and leakage — the uncached body of
+// EffectiveAmpInputDBm.
+func (r *Reflector) solveFeedback(extDBm, l float64) float64 {
 	extMw := units.DBmToMilliwatts(extDBm)
 	x := extMw
 	for i := 0; i < feedbackIterations; i++ {

@@ -1,6 +1,10 @@
 #!/usr/bin/env sh
 # Performance regression gate: run the movrsim bench suite fresh and
 # compare it against the committed baseline, failing on regressions.
+# The comparison prints a per-entry delta table — every benchmark's
+# baseline ns/op, current ns/op, and relative change, improvements
+# included — before notes, violations, and the verdict, so a gate run
+# doubles as the revision's perf summary.
 #
 #   scripts/bench_gate.sh [baseline.json]
 #
