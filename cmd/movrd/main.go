@@ -14,6 +14,10 @@
 //	-queue N     queued-job bound; full queue answers 429 (default 16)
 //	-cache N     result-cache entries (default 256)
 //	-retain N    finished-job records kept for GET /v1/jobs (default 1024)
+//	-debug-addr A  optional second listener with net/http/pprof under
+//	               /debug/pprof/ and expvar under /debug/vars; off when
+//	               empty (the default), so the job API never exposes
+//	               profiling handlers
 //
 // API:
 //
@@ -34,11 +38,13 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +60,7 @@ func main() {
 	queue := flag.Int("queue", 0, "queued-job bound (0 = default 16)")
 	cacheN := flag.Int("cache", 0, "result-cache entries (0 = default 256)")
 	retain := flag.Int("retain", 0, "finished-job records kept (0 = default 1024)")
+	debugAddr := flag.String("debug-addr", "", "pprof/expvar listen address (empty = disabled)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "movrd: unexpected arguments %v\n", flag.Args())
@@ -83,6 +90,32 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 
+	// Debug listener: a separate socket so profiling handlers are never
+	// reachable through the job API address. Uses an explicit mux —
+	// importing net/http/pprof for its DefaultServeMux side effect would
+	// silently expose pprof on any future handler that reuses it.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("movrd: debug listen %s: %v", *debugAddr, err)
+		}
+		debugSrv = &http.Server{Handler: dmux}
+		log.Printf("movrd: debug listening on %s", dln.Addr())
+		go func() {
+			if err := debugSrv.Serve(dln); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("movrd: debug serve: %v", err)
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -98,6 +131,9 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("movrd: shutdown: %v", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(ctx)
 	}
 	srv.Close()
 }

@@ -35,6 +35,9 @@
 //	              the coexpf/coexedf scenarios force pf/edf)
 //	-uplink D     pose-report uplink sub-slot reserved per player per scheduling
 //	              window, e.g. 200us (coex family, default 0 = off)
+//	-trace P      write a per-session event trace to P (session and fleet only):
+//	              Chrome trace-event JSON loadable in Perfetto, or JSONL when P
+//	              ends in .jsonl; summarize with movrtrace -analyze P
 //
 // Bench flags (see the README's "Performance workflow" section):
 //
@@ -53,6 +56,9 @@ import (
 
 	movr "github.com/movr-sim/movr"
 	"github.com/movr-sim/movr/internal/bench"
+	"github.com/movr-sim/movr/internal/experiments"
+	"github.com/movr-sim/movr/internal/fleet"
+	"github.com/movr-sim/movr/internal/obs"
 )
 
 func main() {
@@ -65,6 +71,7 @@ func main() {
 	players := flag.Int("players", 0, "players sharing each coex bay's medium (coex scenarios; 0 = 4)")
 	coexPolicy := flag.String("coex-policy", "", "airtime policy for coex bays: "+movr.CoexPolicyNames()+" (coex scenarios; default rr)")
 	uplink := flag.Duration("uplink", 0, "pose-uplink sub-slot reserved per player per window (coex scenarios; 0 = off)")
+	tracePath := flag.String("trace", "", "write a per-session event trace (Perfetto-loadable Chrome JSON; use a .jsonl path for JSONL) — session and fleet only")
 	benchOut := flag.String("bench-out", "", "bench report path (default BENCH_<git-sha>.json)")
 	benchCompare := flag.String("bench-compare", "", "baseline BENCH_*.json to gate against")
 	benchTolPct := flag.Float64("bench-tol-pct", 50, "allowed ns/op regression in percent")
@@ -146,6 +153,11 @@ func main() {
 	}
 
 	cmd := flag.Arg(0)
+	if *tracePath != "" && cmd != "fleet" && cmd != "session" {
+		fmt.Fprintf(os.Stderr, "movrsim: -trace is only meaningful with the session and fleet experiments\n\n")
+		usage()
+		os.Exit(2)
+	}
 	start := time.Now()
 	switch cmd {
 	case "fig3":
@@ -161,7 +173,7 @@ func main() {
 	case "latency":
 		fmt.Print(movr.RunLatency(movr.LatencyConfig{Seed: *seed}).Render())
 	case "session":
-		runSession(*seed, *fast)
+		runSession(*seed, *fast, *tracePath)
 	case "deployment":
 		fmt.Print(movr.RunDeployment().Render())
 	case "map":
@@ -169,7 +181,7 @@ func main() {
 	case "ablations":
 		runAblations(*seed)
 	case "fleet":
-		runFleet(*seed, *workers, *sessions, *players, policy, *uplink, kind, *fast)
+		runFleet(*seed, *workers, *sessions, *players, policy, *uplink, kind, *fast, *tracePath)
 	case "bench":
 		runBench(*benchOut, *benchCompare, *benchTolPct, *benchAllocTol, *fast)
 	case "all":
@@ -185,7 +197,7 @@ func main() {
 		fmt.Println()
 		fmt.Print(movr.RunLatency(movr.LatencyConfig{Seed: *seed}).Render())
 		fmt.Println()
-		runSession(*seed, *fast)
+		runSession(*seed, *fast, "")
 		fmt.Println()
 		fmt.Print(movr.RunDeployment().Render())
 		fmt.Println()
@@ -193,7 +205,7 @@ func main() {
 		fmt.Println()
 		runAblations(*seed)
 		fmt.Println()
-		runFleet(*seed, *workers, *sessions, *players, policy, *uplink, kind, *fast)
+		runFleet(*seed, *workers, *sessions, *players, policy, *uplink, kind, *fast, "")
 	default:
 		fmt.Fprintf(os.Stderr, "movrsim: unknown experiment %q\n\n", cmd)
 		usage()
@@ -257,13 +269,41 @@ func runFig9(seed int64, runs, workers int, fast bool) {
 	fmt.Print(movr.RunFig9(cfg).Render())
 }
 
-func runSession(seed int64, fast bool) {
+func runSession(seed int64, fast bool, tracePath string) {
 	cfg := movr.DefaultSessionConfig()
 	cfg.Seed = seed
 	if fast {
 		cfg.Duration = 8 * time.Second
 	}
+	// Per-variant recorders: the session experiment runs the same trace
+	// through four system variants; each gets its own track in the
+	// exported file.
+	var recs map[experiments.SessionVariant]*obs.Recorder
+	if tracePath != "" {
+		recs = make(map[experiments.SessionVariant]*obs.Recorder, len(experiments.SessionVariants))
+		for _, v := range experiments.SessionVariants {
+			recs[v] = obs.NewRecorder(0)
+		}
+		cfg.ObsFor = func(v experiments.SessionVariant) *obs.Recorder { return recs[v] }
+	}
 	fmt.Print(movr.RunSession(cfg).Render())
+	if tracePath != "" {
+		tr := obs.Trace{}
+		for _, v := range experiments.SessionVariants {
+			tr.Sessions = append(tr.Sessions, obs.Collect("session/"+string(v), recs[v]))
+		}
+		writeTrace(tr, tracePath)
+	}
+}
+
+// writeTrace writes an exported trace file, reporting success like the
+// bench report path does.
+func writeTrace(tr obs.Trace, path string) {
+	if err := tr.WriteFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "movrsim: trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "trace written to %s\n", path)
 }
 
 func runMap(workers int) {
@@ -276,7 +316,7 @@ func runMap(workers int) {
 	fmt.Print(movr.RunHeatmap(with).Render("VR coverage — AP + MoVR reflector"))
 }
 
-func runFleet(seed int64, workers, sessions, players int, policy movr.CoexPolicyName, uplink time.Duration, kind movr.FleetScenarioKind, fast bool) {
+func runFleet(seed int64, workers, sessions, players int, policy movr.CoexPolicyName, uplink time.Duration, kind movr.FleetScenarioKind, fast bool, tracePath string) {
 	cfg := movr.FleetScenarioConfig{
 		Seed:            seed,
 		Duration:        10 * time.Second,
@@ -306,12 +346,19 @@ func runFleet(seed int64, workers, sessions, players int, policy movr.CoexPolicy
 		fmt.Fprintf(os.Stderr, "movrsim: fleet: %v\n", err)
 		os.Exit(1)
 	}
+	var recs []*obs.Recorder
+	if tracePath != "" {
+		recs = fleet.AttachTraceRecorders(specs, 0)
+	}
 	res, err := movr.RunFleet(context.Background(), specs, movr.FleetConfig{Workers: workers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "movrsim: fleet: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Print(res.Render(kind.Title()))
+	if tracePath != "" {
+		writeTrace(fleet.CollectTrace(specs, recs), tracePath)
+	}
 }
 
 // runBench executes the named performance suite, writes the

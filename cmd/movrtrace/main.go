@@ -1,11 +1,13 @@
 // Command movrtrace generates, inspects, and converts the seeded VR
 // motion traces the simulator replays (walking, head rotation, hand
-// raises in the 5 m × 5 m office).
+// raises in the 5 m × 5 m office), and summarizes the structured event
+// traces the simulator records (movrsim -trace).
 //
 // Usage:
 //
-//	movrtrace -seed 7 -duration 30s -out trace.json   # generate
-//	movrtrace -in trace.json                          # summarize
+//	movrtrace -seed 7 -duration 30s -out trace.json   # generate motion
+//	movrtrace -in trace.json                          # summarize motion
+//	movrtrace -analyze events.json                    # summarize an event trace
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/movr-sim/movr/internal/obs"
 	"github.com/movr-sim/movr/internal/vr"
 )
 
@@ -22,7 +25,13 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "trace duration")
 	out := flag.String("out", "", "write generated trace JSON to this file ('-' for stdout)")
 	in := flag.String("in", "", "summarize an existing trace JSON file instead of generating")
+	analyze := flag.String("analyze", "", "summarize a simulator event trace (movrsim -trace output, Chrome JSON or JSONL)")
 	flag.Parse()
+
+	if *analyze != "" {
+		analyzeFile(*analyze)
+		return
+	}
 
 	if *in != "" {
 		summarizeFile(*in)
@@ -54,6 +63,17 @@ func main() {
 	if *out != "-" {
 		fmt.Fprintf(os.Stderr, "wrote %d samples to %s\n", len(trace), *out)
 	}
+}
+
+// analyzeFile summarizes a structured event trace: blockage episodes,
+// handoff counts, worst deadline-miss bursts, and per-player airtime
+// received vs entitled.
+func analyzeFile(path string) {
+	tr, err := obs.ReadTraceFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(obs.Analyze(tr).Render())
 }
 
 func summarizeFile(path string) {

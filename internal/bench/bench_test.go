@@ -174,6 +174,7 @@ func TestCompareSchemaMismatchFails(t *testing.T) {
 func TestSuiteShape(t *testing.T) {
 	want := []string{
 		"tracer/office2b", "linkmgr/step", "coex/snapshot", "fig9/trial",
+		"obs/record", "obs/off",
 		"fleet/mixed", "fleet/arcade", "fleet/home", "fleet/dense",
 		"fleet/coex", "fleet/coexpf", "fleet/coexedf",
 		"movrd/submit",

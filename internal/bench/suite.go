@@ -16,6 +16,7 @@ import (
 	"github.com/movr-sim/movr/internal/fleet"
 	"github.com/movr-sim/movr/internal/geom"
 	"github.com/movr-sim/movr/internal/linkmgr"
+	"github.com/movr-sim/movr/internal/obs"
 	"github.com/movr-sim/movr/internal/radio"
 	"github.com/movr-sim/movr/internal/reflector"
 	"github.com/movr-sim/movr/internal/room"
@@ -35,7 +36,7 @@ const suiteWorkers = 2
 // starts allocating per window or regressing the scheduler hot path
 // trips the bench gate.
 func Suite() []Spec {
-	specs := []Spec{tracerSpec(), linkmgrSpec(), coexSnapshotSpec(), fig9Spec()}
+	specs := []Spec{tracerSpec(), linkmgrSpec(), coexSnapshotSpec(), fig9Spec(), obsRecordSpec(), obsOffSpec()}
 	for _, kind := range fleet.Kinds {
 		specs = append(specs, fleetSpec(kind))
 	}
@@ -178,6 +179,51 @@ func fig9Spec() Spec {
 			}
 			if len(res.MoVRImp) != cfg.Runs {
 				return fmt.Errorf("trial count = %d, want %d", len(res.MoVRImp), cfg.Runs)
+			}
+			return nil
+		},
+	}
+}
+
+// obsRecordSpec prices one enabled-recorder Emit in steady state — the
+// marginal cost tracing adds to every instrumented event site once the
+// ring buffer has wrapped. Pairs with obs/off below to show the
+// enabled-vs-disabled overhead in one report.
+func obsRecordSpec() Spec {
+	rec := obs.NewRecorder(1024)
+	return Spec{
+		Name:      "obs/record",
+		Warmup:    3,
+		Reps:      20,
+		OpsPerRep: 100000,
+		Op: func() error {
+			for i := 0; i < 100000; i++ {
+				rec.EmitAt(time.Duration(i), obs.KindFrameOK, int32(i), 0, 0.5, 0)
+			}
+			if rec.Len() == 0 {
+				return fmt.Errorf("recorder captured nothing")
+			}
+			return nil
+		},
+	}
+}
+
+// obsOffSpec prices the same event site with tracing disabled: every
+// instrumented package calls through a nil *Recorder, so this is the
+// cost untraced production runs pay — it must stay at a nil check.
+func obsOffSpec() Spec {
+	var rec *obs.Recorder
+	return Spec{
+		Name:      "obs/off",
+		Warmup:    3,
+		Reps:      20,
+		OpsPerRep: 100000,
+		Op: func() error {
+			for i := 0; i < 100000; i++ {
+				rec.EmitAt(time.Duration(i), obs.KindFrameOK, int32(i), 0, 0.5, 0)
+			}
+			if rec.Len() != 0 {
+				return fmt.Errorf("nil recorder captured events")
 			}
 			return nil
 		},

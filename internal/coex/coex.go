@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/obs"
 	"github.com/movr-sim/movr/internal/room"
 	"github.com/movr-sim/movr/internal/stream"
 	"github.com/movr-sim/movr/internal/vr"
@@ -144,6 +145,14 @@ type Scheduler struct {
 	selfActive         bool
 	slotStart, slotEnd time.Duration
 	upEnd              time.Duration
+
+	// obs, when non-nil, receives a slot_grant or slot_reclaim event
+	// plus an airtime event per scheduling window; entitled is Self's
+	// weight fraction of the room, precomputed so window emission stays
+	// allocation- and division-free. Recording never feeds back into
+	// the schedule.
+	obs      *obs.Recorder
+	entitled float64
 
 	// geo, when non-nil, is the room-owned precomputed schedule this
 	// scheduler reads windows from instead of evaluating its policy —
@@ -238,6 +247,15 @@ func NewScheduler(rm Room, ap geom.Vec) (*Scheduler, error) {
 		return nil, err
 	}
 	s.policy = policy
+	if rm.Weights != nil {
+		var sumW float64
+		for _, w := range rm.Weights {
+			sumW += w
+		}
+		s.entitled = rm.Weights[rm.Self] / sumW
+	} else {
+		s.entitled = 1 / float64(n)
+	}
 	s.win.sched = s
 	if rm.Geometry != nil {
 		if err := rm.Geometry.check(s); err != nil {
@@ -250,6 +268,12 @@ func NewScheduler(rm Room, ap geom.Vec) (*Scheduler, error) {
 
 // Players returns the number of headsets sharing the medium.
 func (s *Scheduler) Players() int { return len(s.players) }
+
+// SetRecorder attaches an event recorder to the scheduler. Each
+// scheduling window then emits a slot_grant (or slot_reclaim, when
+// blockage cost Self its slot) plus an airtime received-vs-entitled
+// event, stamped at the window start. A nil recorder disables emission.
+func (s *Scheduler) SetRecorder(r *obs.Recorder) { s.obs = r }
 
 // Policy returns the name of the active airtime policy.
 func (s *Scheduler) Policy() PolicyName { return s.policy.Name() }
@@ -315,11 +339,31 @@ func (s *Scheduler) computeWindow(win int64) {
 		s.selfActive = g.active[base+s.self]
 		s.slotStart = g.starts[base+s.self]
 		s.slotEnd = g.ends[base+s.self]
+	} else {
+		s.upEnd = s.layoutWindow(win, s.actAll, s.startAll, s.endAll)
+		s.selfActive = s.actAll[s.self]
+		s.slotStart, s.slotEnd = s.startAll[s.self], s.endAll[s.self]
+	}
+	s.emitWindow(win)
+}
+
+// emitWindow records the freshly computed window. Streaming runs query
+// time monotonically, so each window is computed — and therefore
+// emitted — exactly once, in order, on both the snapshot and live
+// paths; the event file is independent of which path served it.
+func (s *Scheduler) emitWindow(win int64) {
+	if s.obs == nil || win < 0 {
 		return
 	}
-	s.upEnd = s.layoutWindow(win, s.actAll, s.startAll, s.endAll)
-	s.selfActive = s.actAll[s.self]
-	s.slotStart, s.slotEnd = s.startAll[s.self], s.endAll[s.self]
+	start := s.period * time.Duration(win)
+	received := 0.0
+	if s.selfActive {
+		s.obs.EmitAt(start, obs.KindSlotGrant, int32(win), 0, s.slotStart.Seconds(), s.slotEnd.Seconds())
+		received = float64(s.slotEnd-s.slotStart) / float64(s.period)
+	} else {
+		s.obs.EmitAt(start, obs.KindSlotReclaim, int32(win), 0, 0, 0)
+	}
+	s.obs.EmitAt(start, obs.KindAirtime, int32(win), 0, received, s.entitled)
 }
 
 // layoutWindow evaluates the active set at the start of window win,

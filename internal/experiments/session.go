@@ -9,6 +9,7 @@ import (
 	"github.com/movr-sim/movr/internal/control"
 	"github.com/movr-sim/movr/internal/geom"
 	"github.com/movr-sim/movr/internal/linkmgr"
+	"github.com/movr-sim/movr/internal/obs"
 	"github.com/movr-sim/movr/internal/reflector"
 	"github.com/movr-sim/movr/internal/room"
 	"github.com/movr-sim/movr/internal/sim"
@@ -86,6 +87,21 @@ type SessionConfig struct {
 	// Variants selects which system variants Session runs. Nil runs all
 	// four.
 	Variants []SessionVariant
+
+	// Obs, when non-nil, records the session's event stream: link
+	// transitions and reassessments from the controller, per-window
+	// slot grants from the coex scheduler, and per-frame delivery from
+	// the stream. Events are stamped in sim time from the session's own
+	// engine, so traces are byte-identical across runs. Recording never
+	// feeds back into the simulation. When a session runs multiple
+	// variants their events land in this one recorder interleaved; use
+	// ObsFor to keep variants apart.
+	Obs *obs.Recorder
+
+	// ObsFor, when non-nil, resolves the recorder per variant and takes
+	// precedence over Obs. Returning nil disables recording for that
+	// variant.
+	ObsFor func(SessionVariant) *obs.Recorder
 
 	// sizedRoom records (via withDefaults) that the footprint was set
 	// explicitly rather than defaulted, so an explicit 5 × 5 room is
@@ -352,6 +368,24 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) (Vari
 	handIdx := w.Room.AddObstacle(room.Hand(geom.V(-10, -10))) // parked off-room
 
 	engine := sim.New()
+
+	// Event recording: stamp in the session engine's sim time and open
+	// the session span. All recorder methods are nil-safe, but the wiring
+	// stays behind a nil check: the engine.Now method value would
+	// allocate a closure per session even on untraced runs.
+	rec := cfg.Obs
+	if cfg.ObsFor != nil {
+		rec = cfg.ObsFor(variant)
+	}
+	if rec != nil {
+		rec.SetClock(engine.Now)
+		rec.EmitAt(0, obs.KindSessionStart, 0, 0, 0, 0)
+		mgr.Obs = rec
+		if sched != nil {
+			sched.SetRecorder(rec)
+		}
+	}
+
 	currentRate := 0.0
 	req := mgr.Req
 	// Reactive-policy state: consecutive failing evaluations, and the
@@ -457,7 +491,9 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) (Vari
 	rep := stream.Run(engine, stream.Config{
 		Display:  vr.HTCVive(),
 		Duration: cfg.Duration,
+		Obs:      rec,
 	}, rateFn)
+	rec.EmitAt(cfg.Duration, obs.KindSessionEnd, int32(rep.Delivered), int32(rep.Frames), 0, 0)
 	return VariantOutcome{Report: rep, Handoffs: handoffs}, nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"github.com/movr-sim/movr/internal/control"
 	"github.com/movr-sim/movr/internal/gainctl"
 	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/obs"
 	"github.com/movr-sim/movr/internal/phy"
 	"github.com/movr-sim/movr/internal/radio"
 	"github.com/movr-sim/movr/internal/reflector"
@@ -119,11 +120,24 @@ type Manager struct {
 	Req     phy.VRRequirement
 	GainCfg gainctl.Config
 
+	// Obs, when non-nil, receives link lifecycle events: handoff when
+	// the carrying path changes, link_down when the link drops to no
+	// usable path, link_up when it recovers, and reassess on every
+	// passive SNR re-read. Recording is observation only — it never
+	// influences path selection.
+	Obs *obs.Recorder
+
 	entries []*Entry
 
 	// Last-applied decision, for passive reassessment.
 	lastChoice PathChoice
 	lastRefl   int
+
+	// Last-emitted path code, tracked separately from the control state
+	// above so trace events describe what the trace reader cares about
+	// (the carrying path changing) rather than internal decision churn.
+	emitSeen bool
+	emitCode int32
 
 	// pathBuf is the tracer scratch reused by every SNR evaluation, so a
 	// steady-state tracking step performs zero heap allocations. Paths
@@ -394,7 +408,53 @@ func (m *Manager) stateFor(choice PathChoice, reflIdx int, snr float64) LinkStat
 		st.Choice = PathNone
 	}
 	st.MeetsRequirement = m.Req.MetByRate(st.RateBps)
+	m.emitTransition(st)
 	return st
+}
+
+// PathCode flattens a path choice into the compact integer code trace
+// events carry: −1 for no usable path, 0 for the direct path, 1+i for
+// reflector i.
+func PathCode(choice PathChoice, reflIdx int) int32 {
+	switch choice {
+	case PathDirect:
+		return 0
+	case PathReflector:
+		return int32(1 + reflIdx)
+	default:
+		return -1
+	}
+}
+
+// emitTransition records link_up / link_down / handoff events when the
+// carrying path changes. Before the first decision the link is treated
+// as down, so the first usable state emits link_up.
+func (m *Manager) emitTransition(st LinkState) {
+	if m.Obs == nil {
+		return
+	}
+	code := PathCode(st.Choice, st.ReflectorIdx)
+	if !m.emitSeen {
+		m.emitSeen = true
+		m.emitCode = code
+		if code >= 0 {
+			m.Obs.Emit(obs.KindLinkUp, code, 0, st.SNRdB, 0)
+		}
+		return
+	}
+	prev := m.emitCode
+	if code == prev {
+		return
+	}
+	m.emitCode = code
+	switch {
+	case code < 0:
+		m.Obs.Emit(obs.KindLinkDown, prev, 0, st.SNRdB, 0)
+	case prev < 0:
+		m.Obs.Emit(obs.KindLinkUp, code, 0, st.SNRdB, 0)
+	default:
+		m.Obs.Emit(obs.KindHandoff, prev, code, st.SNRdB, 0)
+	}
 }
 
 // Reassess re-reads the SNR of the most recently selected path with
@@ -414,6 +474,7 @@ func (m *Manager) Reassess() LinkState {
 	st := m.stateFor(choice, idx, snr)
 	// Reassessment must not upgrade PathNone back: keep the decision.
 	m.lastChoice, m.lastRefl = choice, idx
+	m.Obs.Emit(obs.KindReassess, PathCode(st.Choice, st.ReflectorIdx), 0, st.SNRdB, st.RateBps)
 	return st
 }
 

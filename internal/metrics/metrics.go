@@ -149,6 +149,70 @@ func (g *Gauge) write(w io.Writer) {
 	fmt.Fprintf(w, "%s %d\n", g.nm, g.v.Load())
 }
 
+// CounterVec is a family of counters keyed by one label — per-scenario
+// job counts and the like. Children are created on first use and live
+// for the registry's lifetime, so the label must be low-cardinality
+// (an enum, not user input).
+type CounterVec struct {
+	nm, hp, label string
+
+	mu       sync.Mutex
+	children map[string]*atomic.Int64
+}
+
+// NewCounterVec registers a single-label counter family.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{nm: name, hp: help, label: label, children: make(map[string]*atomic.Int64)}
+	r.register(v)
+	return v
+}
+
+// With returns the child counter for the given label value, creating it
+// on first use.
+func (v *CounterVec) With(value string) *atomic.Int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &atomic.Int64{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// Inc adds one to the child for the given label value.
+func (v *CounterVec) Inc(value string) { v.With(value).Add(1) }
+
+// Value reports the child's current count (0 if never incremented).
+func (v *CounterVec) Value(value string) int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[value]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+func (v *CounterVec) name() string { return v.nm }
+func (v *CounterVec) help() string { return v.hp }
+func (v *CounterVec) typ() string  { return "counter" }
+func (v *CounterVec) write(w io.Writer) {
+	v.mu.Lock()
+	values := make([]string, 0, len(v.children))
+	for val := range v.children {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	counts := make([]int64, len(values))
+	for i, val := range values {
+		counts[i] = v.children[val].Load()
+	}
+	v.mu.Unlock()
+	for i, val := range values {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.nm, v.label, val, counts[i])
+	}
+}
+
 // gaugeFunc samples a float from a callback at exposition time — for
 // values owned elsewhere (pool utilization, derived quantiles).
 type gaugeFunc struct {

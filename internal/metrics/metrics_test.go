@@ -148,3 +148,33 @@ func TestConcurrentUse(t *testing.T) {
 		t.Errorf("c=%d g=%d h=%d, want 8000 each", c.Value(), g.Value(), h.Count())
 	}
 }
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("jobs_by_kind_total", "jobs by scenario kind", "kind")
+	v.Inc("coex")
+	v.Inc("coex")
+	v.Inc("mixed")
+	v.With("arcade").Add(3)
+	if got := v.Value("coex"); got != 2 {
+		t.Errorf("coex = %d, want 2", got)
+	}
+	if got := v.Value("never"); got != 0 {
+		t.Errorf("unseen label = %d, want 0", got)
+	}
+	out := r.String()
+	for _, want := range []string{
+		"# TYPE jobs_by_kind_total counter",
+		`jobs_by_kind_total{kind="arcade"} 3`,
+		`jobs_by_kind_total{kind="coex"} 2`,
+		`jobs_by_kind_total{kind="mixed"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Children are sorted by label value for deterministic scrapes.
+	if strings.Index(out, `kind="arcade"`) > strings.Index(out, `kind="coex"`) {
+		t.Error("children not sorted by label value")
+	}
+}

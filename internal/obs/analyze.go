@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SessionSummary condenses one session's event stream into the
+// questions a trace exists to answer: how often the link moved, how
+// long blockage held the session off the air, where the worst glitch
+// burst sat, and whether the airtime the player received matched what
+// its weight entitled it to.
+type SessionSummary struct {
+	ID      string
+	Events  int
+	Dropped uint64
+
+	// Start and End bound the session span.
+	Start, End time.Duration
+
+	// Frames/Delivered come from the session-end marker (falling back
+	// to counting frame events when the ring dropped it).
+	Frames, Delivered int
+
+	// Link dynamics.
+	Handoffs     int
+	LinkDowns    int // path invalidations (drops to no usable path)
+	Reassessions int
+
+	// Airtime (coex sessions; zero Windows for private rooms).
+	Windows           int // scheduling windows observed
+	BlockedWindows    int // windows whose slot was reclaimed (blockage)
+	BlockedEpisodes   int // runs of consecutive blocked windows
+	LongestBlockedRun int // windows in the longest such run
+	MeanReceived      float64
+	MeanEntitled      float64
+
+	// Deadline misses.
+	Misses          int
+	WorstMissBurst  int           // consecutive missed frames
+	WorstMissStart  time.Duration // first frame of that burst
+	WorstMissFrames [2]int32      // frame index range of that burst
+}
+
+// Analysis is the movrtrace -analyze product: per-session summaries in
+// trace order plus totals.
+type Analysis struct {
+	Sessions     []SessionSummary
+	TotalEvents  int
+	TotalDropped uint64
+}
+
+// Analyze summarizes a trace.
+func Analyze(tr Trace) Analysis {
+	a := Analysis{Sessions: make([]SessionSummary, 0, len(tr.Sessions))}
+	for _, s := range tr.Sessions {
+		sum := summarizeSession(s)
+		a.TotalEvents += sum.Events
+		a.TotalDropped += sum.Dropped
+		a.Sessions = append(a.Sessions, sum)
+	}
+	return a
+}
+
+func summarizeSession(s SessionTrace) SessionSummary {
+	sum := SessionSummary{ID: s.ID, Events: len(s.Events), Dropped: s.Dropped}
+	if len(s.Events) == 0 {
+		return sum
+	}
+	sum.Start, sum.End = s.Events[0].T, s.Events[0].T
+
+	var (
+		frames, delivered        int // counted from frame events (fallback)
+		missRun                  int
+		missRunStart             time.Duration
+		missRunFirst             int32
+		lastBlockedWin           int32 = -2
+		receivedSum, entitledSum float64
+	)
+	endMiss := func(last int32) {
+		if missRun > sum.WorstMissBurst {
+			sum.WorstMissBurst = missRun
+			sum.WorstMissStart = missRunStart
+			sum.WorstMissFrames = [2]int32{missRunFirst, last}
+		}
+		missRun = 0
+	}
+	var lastMissIdx int32 = -1
+	for _, ev := range s.Events {
+		if ev.T < sum.Start {
+			sum.Start = ev.T
+		}
+		if ev.T > sum.End {
+			sum.End = ev.T
+		}
+		switch ev.Kind {
+		case KindSessionEnd:
+			sum.Delivered, sum.Frames = int(ev.A), int(ev.B)
+		case KindHandoff:
+			sum.Handoffs++
+		case KindLinkDown:
+			sum.LinkDowns++
+		case KindReassess:
+			sum.Reassessions++
+		case KindAirtime:
+			sum.Windows++
+			receivedSum += ev.X
+			entitledSum += ev.Y
+		case KindSlotReclaim:
+			sum.BlockedWindows++
+			if ev.A != lastBlockedWin+1 {
+				sum.BlockedEpisodes++
+			}
+			lastBlockedWin = ev.A
+		case KindFrameOK:
+			frames++
+			delivered++
+			endMiss(lastMissIdx)
+		case KindFrameMiss:
+			frames++
+			if missRun == 0 {
+				missRunStart = ev.T
+				missRunFirst = ev.A
+			}
+			missRun++
+			lastMissIdx = ev.A
+			sum.Misses++
+		}
+	}
+	endMiss(lastMissIdx)
+	if sum.Frames == 0 {
+		sum.Frames, sum.Delivered = frames, delivered
+	}
+	if sum.Windows > 0 {
+		sum.MeanReceived = receivedSum / float64(sum.Windows)
+		sum.MeanEntitled = entitledSum / float64(sum.Windows)
+	}
+	sum.LongestBlockedRun = longestBlockedRun(s.Events)
+	return sum
+}
+
+// longestBlockedRun finds the longest run of consecutive reclaimed
+// windows (by window index).
+func longestBlockedRun(events []Event) int {
+	longest, run := 0, 0
+	var prev int32 = -2
+	for _, ev := range events {
+		if ev.Kind != KindSlotReclaim {
+			continue
+		}
+		if ev.A == prev+1 {
+			run++
+		} else {
+			run = 1
+		}
+		prev = ev.A
+		if run > longest {
+			longest = run
+		}
+	}
+	return longest
+}
+
+// Render prints the analysis as text.
+func (a Analysis) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d sessions, %d events (%d dropped)\n",
+		len(a.Sessions), a.TotalEvents, a.TotalDropped)
+	for _, s := range a.Sessions {
+		fmt.Fprintf(&b, "\n%s: %d events", s.ID, s.Events)
+		if s.Dropped > 0 {
+			fmt.Fprintf(&b, " (%d dropped — oldest events overwritten)", s.Dropped)
+		}
+		fmt.Fprintf(&b, ", span %v..%v\n", s.Start, s.End)
+		if s.Frames > 0 {
+			fmt.Fprintf(&b, "  frames: %d/%d delivered (%.1f%%), %d deadline misses\n",
+				s.Delivered, s.Frames, 100*float64(s.Delivered)/float64(s.Frames), s.Misses)
+		}
+		if s.WorstMissBurst > 0 {
+			fmt.Fprintf(&b, "  worst miss burst: %d consecutive frames (#%d..#%d) starting at %v\n",
+				s.WorstMissBurst, s.WorstMissFrames[0], s.WorstMissFrames[1], s.WorstMissStart)
+		}
+		fmt.Fprintf(&b, "  link: %d handoffs, %d path invalidations, %d reassessments\n",
+			s.Handoffs, s.LinkDowns, s.Reassessions)
+		if s.Windows > 0 {
+			fmt.Fprintf(&b, "  airtime: blocked %d/%d windows (%d episodes, longest %d); received %.1f%% vs entitled %.1f%%\n",
+				s.BlockedWindows, s.Windows, s.BlockedEpisodes, s.LongestBlockedRun,
+				100*s.MeanReceived, 100*s.MeanEntitled)
+		}
+	}
+	return b.String()
+}

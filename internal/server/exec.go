@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -10,7 +11,19 @@ import (
 	"github.com/movr-sim/movr/internal/experiments"
 	"github.com/movr-sim/movr/internal/fleet"
 	"github.com/movr-sim/movr/internal/fleet/pool"
+	"github.com/movr-sim/movr/internal/obs"
 )
+
+// TraceArtifact is a completed job's flight-data recording: the
+// Chrome trace-event document (Perfetto-loadable) the trace endpoint
+// serves, plus the count summary the job view reports. Deterministic —
+// a given spec produces byte-identical Chrome bytes on every run.
+type TraceArtifact struct {
+	Chrome   []byte
+	Sessions int
+	Events   int
+	Dropped  uint64
+}
 
 // payload is the deterministic result document of a completed job: the
 // structured result of the experiment that ran, plus the same text
@@ -25,18 +38,21 @@ type payload struct {
 }
 
 // execute runs a normalized spec to completion and returns the result
-// bytes. Every kind's units of work — fleet sessions, fig9 trials, map
-// cells — execute on the shared runner, so concurrent jobs together
+// bytes plus — for fleet jobs with the trace flag — the recorded trace
+// artifact. Every kind's units of work — fleet sessions, fig9 trials,
+// map cells — execute on the shared runner, so concurrent jobs together
 // never exceed its capacity; fleet jobs additionally report per-session
 // completions through onSession. ctx cancels a job between work units.
-func execute(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession func(done, total int, o fleet.SessionOutcome)) ([]byte, error) {
+func execute(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession func(done, total int, o fleet.SessionOutcome)) ([]byte, *TraceArtifact, error) {
 	var p payload
+	var trace *TraceArtifact
 	switch spec.Kind {
 	case "fleet":
-		res, title, err := executeFleet(ctx, *spec.Fleet, runner, onSession)
+		res, title, tr, err := executeFleet(ctx, *spec.Fleet, runner, onSession)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		trace = tr
 		p = payload{Kind: "fleet", Fleet: &res, Render: res.Render(title)}
 	case "fig9":
 		f := *spec.Fig9
@@ -48,7 +64,7 @@ func execute(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession f
 		}
 		res, err := experiments.Fig9Context(ctx, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		p = payload{Kind: "fig9", Fig9: &res, Render: res.Render()}
 	case "map":
@@ -58,7 +74,7 @@ func execute(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession f
 		cfg.Runner = runner
 		res, err := experiments.HeatmapContext(ctx, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		title := "VR coverage — bare AP"
 		if m.WithReflector {
@@ -66,22 +82,22 @@ func execute(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession f
 		}
 		p = payload{Kind: "map", Map: &res, Render: res.Render(title)}
 	default:
-		return nil, fmt.Errorf("execute: unknown kind %q", spec.Kind)
+		return nil, nil, fmt.Errorf("execute: unknown kind %q", spec.Kind)
 	}
 	raw, err := json.Marshal(p)
 	if err != nil {
-		return nil, fmt.Errorf("execute: encode result: %w", err)
+		return nil, nil, fmt.Errorf("execute: encode result: %w", err)
 	}
-	return raw, nil
+	return raw, trace, nil
 }
 
 // executeFleet expands the fleet job spec into session specs — the full
 // scenario set once per requested variant, IDs suffixed "@variant" —
 // and runs them on the shared pool.
-func executeFleet(ctx context.Context, f FleetJobSpec, runner *pool.Runner, onSession func(done, total int, o fleet.SessionOutcome)) (fleet.Result, string, error) {
+func executeFleet(ctx context.Context, f FleetJobSpec, runner *pool.Runner, onSession func(done, total int, o fleet.SessionOutcome)) (fleet.Result, string, *TraceArtifact, error) {
 	kind, err := fleet.ParseKind(f.Scenario)
 	if err != nil {
-		return fleet.Result{}, "", err
+		return fleet.Result{}, "", nil, err
 	}
 	scfg := fleet.ScenarioConfig{
 		Seed:            f.Seed,
@@ -92,7 +108,7 @@ func executeFleet(ctx context.Context, f FleetJobSpec, runner *pool.Runner, onSe
 	}
 	base, err := kind.Specs(f.Sessions, scfg)
 	if err != nil {
-		return fleet.Result{}, "", err
+		return fleet.Result{}, "", nil, err
 	}
 	specs := make([]fleet.Spec, 0, len(base)*len(f.Variants))
 	for _, name := range f.Variants {
@@ -103,9 +119,26 @@ func executeFleet(ctx context.Context, f FleetJobSpec, runner *pool.Runner, onSe
 			specs = append(specs, sp)
 		}
 	}
+	var recs []*obs.Recorder
+	if f.Trace {
+		recs = fleet.AttachTraceRecorders(specs, 0)
+	}
 	res, err := fleet.Run(ctx, specs, fleet.Config{Runner: runner, OnSession: onSession})
 	if err != nil {
-		return fleet.Result{}, "", err
+		return fleet.Result{}, "", nil, err
+	}
+	var trace *TraceArtifact
+	if f.Trace {
+		tr := fleet.CollectTrace(specs, recs)
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			return fleet.Result{}, "", nil, fmt.Errorf("encode trace: %w", err)
+		}
+		trace = &TraceArtifact{Chrome: buf.Bytes(), Sessions: len(tr.Sessions)}
+		for _, st := range tr.Sessions {
+			trace.Events += len(st.Events)
+			trace.Dropped += st.Dropped
+		}
 	}
 	title := kind.Title()
 	if f.CoexPolicy != "" {
@@ -114,5 +147,5 @@ func executeFleet(ctx context.Context, f FleetJobSpec, runner *pool.Runner, onSe
 	if len(f.Variants) > 1 {
 		title += " [" + strings.Join(f.Variants, "+") + "]"
 	}
-	return res, title, nil
+	return res, title, trace, nil
 }

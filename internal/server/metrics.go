@@ -23,7 +23,14 @@ type serverMetrics struct {
 
 	sessionsDone *metrics.Counter
 	jobLatency   *metrics.Histogram
+	queueWait    *metrics.Histogram
 	httpRequests *metrics.Counter
+
+	jobsByScenario *metrics.CounterVec
+
+	tracedJobs   *metrics.Counter
+	traceEvents  *metrics.Counter
+	traceDropped *metrics.Counter
 }
 
 func newServerMetrics(runner *pool.Runner, c *cache) *serverMetrics {
@@ -41,7 +48,13 @@ func newServerMetrics(runner *pool.Runner, c *cache) *serverMetrics {
 		cacheMisses:   reg.NewCounter("movrd_cache_misses_total", "Submissions that had to run."),
 		sessionsDone:  reg.NewCounter("movrd_sessions_completed_total", "Fleet sessions completed across all jobs."),
 		jobLatency:    reg.NewHistogram("movrd_job_latency_seconds", "Wall-clock latency of executed jobs (cache hits excluded).", metrics.DefaultLatencyBuckets()),
+		queueWait:     reg.NewHistogram("movrd_job_queue_wait_seconds", "Time jobs spent queued between submission and execution start (cache hits excluded).", metrics.DefaultLatencyBuckets()),
 		httpRequests:  reg.NewCounter("movrd_http_requests_total", "HTTP requests served."),
+		jobsByScenario: reg.NewCounterVec("movrd_jobs_by_scenario_total",
+			"Admitted jobs by scenario kind (fleet scenario for fleet jobs, job kind otherwise).", "scenario"),
+		tracedJobs:   reg.NewCounter("movrd_traced_jobs_total", "Completed jobs that recorded an event trace."),
+		traceEvents:  reg.NewCounter("movrd_trace_events_total", "Events captured across all completed traced jobs."),
+		traceDropped: reg.NewCounter("movrd_trace_events_dropped_total", "Events lost to per-session ring-buffer overflow across traced jobs."),
 	}
 	reg.NewGaugeFunc("movrd_cache_entries", "Entries in the result cache.",
 		func() float64 { return float64(c.Len()) })

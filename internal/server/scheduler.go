@@ -68,6 +68,7 @@ type Job struct {
 	errMsg    string
 	result    []byte
 	resultSHA string // hex SHA-256 of result, computed once when set
+	trace     *TraceArtifact
 	cached    bool
 	created   time.Time
 	started   time.Time
@@ -99,6 +100,14 @@ func (j *Job) Result() ([]byte, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result, j.cached
+}
+
+// Trace returns the job's recorded trace artifact (nil unless the job
+// was submitted with the fleet trace flag and completed).
+func (j *Job) Trace() *TraceArtifact {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
 }
 
 // Err returns the failure message ("" unless failed/canceled).
@@ -195,7 +204,7 @@ type Scheduler struct {
 	// execFn runs a job spec; the default is execute. Tests substitute
 	// blocking or failing executors to probe scheduling behaviour
 	// without timing games. Written only before the first Submit.
-	execFn func(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession func(done, total int, o fleet.SessionOutcome)) ([]byte, error)
+	execFn func(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession func(done, total int, o fleet.SessionOutcome)) ([]byte, *TraceArtifact, error)
 
 	mu     sync.Mutex
 	closed bool
@@ -374,26 +383,33 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		return nil, err
 	}
 
-	if res, ok := s.cache.Get(hash); ok {
-		j, err := s.newJob(norm, hash)
-		if err != nil {
-			return nil, err
+	// Traced jobs bypass the cache entirely: the cache stores only
+	// result bytes, and a cache hit would silently lose the trace the
+	// caller asked for.
+	traced := norm.Fleet != nil && norm.Fleet.Trace
+	if !traced {
+		if res, ok := s.cache.Get(hash); ok {
+			j, err := s.newJob(norm, hash)
+			if err != nil {
+				return nil, err
+			}
+			j.mu.Lock()
+			j.state = StateDone
+			j.cached = true
+			j.result = res
+			j.resultSHA = resultDigest(res)
+			j.started = j.created
+			j.finished = j.created
+			j.appendEventLocked(Event{Type: "done", Cached: true})
+			j.mu.Unlock()
+			j.cancel() // nothing will ever use the context
+			close(j.done)
+			s.met.jobsSubmitted.Inc()
+			s.met.jobsByScenario.Inc(scenarioLabel(norm))
+			s.met.cacheHits.Inc()
+			s.met.jobsDone.Inc()
+			return j, nil
 		}
-		j.mu.Lock()
-		j.state = StateDone
-		j.cached = true
-		j.result = res
-		j.resultSHA = resultDigest(res)
-		j.started = j.created
-		j.finished = j.created
-		j.appendEventLocked(Event{Type: "done", Cached: true})
-		j.mu.Unlock()
-		j.cancel() // nothing will ever use the context
-		close(j.done)
-		s.met.jobsSubmitted.Inc()
-		s.met.cacheHits.Inc()
-		s.met.jobsDone.Inc()
-		return j, nil
 	}
 
 	j, err := s.newJob(norm, hash)
@@ -415,6 +431,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	case s.queue <- j:
 		s.mu.Unlock()
 		s.met.jobsSubmitted.Inc()
+		s.met.jobsByScenario.Inc(scenarioLabel(norm))
 		s.met.cacheMisses.Inc()
 		s.met.jobsQueued.Add(1)
 		return j, nil
@@ -425,6 +442,15 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		s.met.jobsRejected.Inc()
 		return nil, ErrQueueFull
 	}
+}
+
+// scenarioLabel is the per-scenario job-counter label of a normalized
+// spec: the fleet scenario kind for fleet jobs, the job kind otherwise.
+func scenarioLabel(norm JobSpec) string {
+	if norm.Kind == "fleet" && norm.Fleet != nil {
+		return norm.Fleet.Scenario
+	}
+	return norm.Kind
 }
 
 // Get looks a job up by ID.
@@ -488,8 +514,10 @@ func (s *Scheduler) run(j *Job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	queueWait := j.started.Sub(j.created)
 	j.appendEventLocked(Event{Type: "running"})
 	j.mu.Unlock()
+	s.met.queueWait.Observe(queueWait.Seconds())
 	s.met.jobsRunning.Add(1)
 	defer s.met.jobsRunning.Add(-1)
 
@@ -505,7 +533,7 @@ func (s *Scheduler) run(j *Job) {
 		})
 		j.mu.Unlock()
 	}
-	result, err := s.execFn(j.ctx, j.Spec, s.runner, onSession)
+	result, trace, err := s.execFn(j.ctx, j.Spec, s.runner, onSession)
 
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -521,6 +549,7 @@ func (s *Scheduler) run(j *Job) {
 		j.state = StateDone
 		j.result = result
 		j.resultSHA = resultDigest(result)
+		j.trace = trace
 		j.appendEventLocked(Event{Type: "done"})
 	default:
 		j.state = StateFailed
@@ -533,7 +562,16 @@ func (s *Scheduler) run(j *Job) {
 
 	switch j.State() {
 	case StateDone:
-		s.cache.Put(j.Hash, result)
+		// Traced jobs stay out of the result cache: a later identical
+		// submission must re-run to produce its own trace (Submit
+		// bypasses Get for them symmetrically).
+		if trace == nil {
+			s.cache.Put(j.Hash, result)
+		} else {
+			s.met.tracedJobs.Inc()
+			s.met.traceEvents.Add(int64(trace.Events))
+			s.met.traceDropped.Add(int64(trace.Dropped))
+		}
 		s.met.jobsDone.Inc()
 		s.met.jobLatency.Observe(elapsed.Seconds())
 	case StateCanceled:

@@ -13,14 +13,14 @@ import (
 
 // blockingExec returns an execFn that blocks until release is closed
 // (or the job is cancelled), plus the release function.
-func blockingExec() (func(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession func(int, int, fleet.SessionOutcome)) ([]byte, error), func()) {
+func blockingExec() (func(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession func(int, int, fleet.SessionOutcome)) ([]byte, *TraceArtifact, error), func()) {
 	release := make(chan struct{})
-	fn := func(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession func(int, int, fleet.SessionOutcome)) ([]byte, error) {
+	fn := func(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession func(int, int, fleet.SessionOutcome)) ([]byte, *TraceArtifact, error) {
 		select {
 		case <-release:
-			return []byte(`{"ok":true}`), nil
+			return []byte(`{"ok":true}`), nil, nil
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
 	}
 	return fn, func() { close(release) }
@@ -320,9 +320,9 @@ func TestSchedulerCancelWinsOverCompletedResult(t *testing.T) {
 	s := NewScheduler(Options{Workers: 1, MaxJobs: 1})
 	defer s.Close()
 	release := make(chan struct{})
-	s.execFn = func(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession func(int, int, fleet.SessionOutcome)) ([]byte, error) {
+	s.execFn = func(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession func(int, int, fleet.SessionOutcome)) ([]byte, *TraceArtifact, error) {
 		<-release
-		return []byte(`{"ok":true}`), nil // deliberately ignores ctx
+		return []byte(`{"ok":true}`), nil, nil // deliberately ignores ctx
 	}
 
 	j, err := s.Submit(specN(1))
@@ -372,11 +372,11 @@ func TestExecuteDeterministic(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			a, err := execute(context.Background(), spec, pool.NewRunner(1), nil)
+			a, _, err := execute(context.Background(), spec, pool.NewRunner(1), nil)
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := execute(context.Background(), spec, pool.NewRunner(4), nil)
+			b, _, err := execute(context.Background(), spec, pool.NewRunner(4), nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -401,7 +401,7 @@ func TestExecuteHonorsContextForEveryKind(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := execute(ctx, spec, pool.NewRunner(1), nil); !errors.Is(err, context.Canceled) {
+		if _, _, err := execute(ctx, spec, pool.NewRunner(1), nil); !errors.Is(err, context.Canceled) {
 			t.Errorf("kind %s: err = %v, want context.Canceled", raw.Kind, err)
 		}
 	}

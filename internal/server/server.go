@@ -16,6 +16,7 @@ import (
 //	GET    /v1/jobs/{id}        job status + result
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/jobs/{id}/events per-session progress as SSE
+//	GET    /v1/jobs/{id}/trace  recorded event trace (fleet jobs with trace:true)
 //	GET    /healthz             liveness
 //	GET    /metrics             Prometheus text exposition
 type Server struct {
@@ -33,6 +34,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	return s
 }
 
@@ -67,6 +69,12 @@ type jobView struct {
 	ElapsedMS  int64           `json:"elapsed_ms,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
 	ResultSHA  string          `json:"result_sha256,omitempty"`
+
+	// Trace flight-data (fleet jobs submitted with trace:true). The
+	// trace itself is served by GET /v1/jobs/{id}/trace.
+	TraceSessions int    `json:"trace_sessions,omitempty"`
+	TraceEvents   int    `json:"trace_events,omitempty"`
+	TraceDropped  uint64 `json:"trace_dropped,omitempty"`
 }
 
 // view snapshots a job. withResult=false gives the list summary.
@@ -98,6 +106,11 @@ func view(j *Job, withResult bool) jobView {
 		if withResult {
 			v.Result = j.result
 		}
+	}
+	if j.trace != nil {
+		v.TraceSessions = j.trace.Sessions
+		v.TraceEvents = j.trace.Events
+		v.TraceDropped = j.trace.Dropped
 	}
 	return v
 }
@@ -219,6 +232,26 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	s.sched.Cancel(j.ID)
 	writeJSON(w, http.StatusOK, view(j, false))
+}
+
+// handleTrace serves a completed job's recorded event trace as Chrome
+// trace-event JSON (Perfetto-loadable). Jobs not submitted with the
+// fleet trace flag — or not yet done — have no trace and answer 404
+// with a hint.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	tr := j.Trace()
+	if tr == nil {
+		writeError(w, http.StatusNotFound,
+			"job %s has no trace (submit a fleet spec with trace:true and wait for it to finish)", j.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(tr.Chrome)
 }
 
 // handleEvents streams the job's progress as server-sent events: one

@@ -368,3 +368,86 @@ func TestSubmitCoexJob(t *testing.T) {
 		t.Fatalf("non-coex headsets_per_room accepted with status %d", resp.StatusCode)
 	}
 }
+
+// TestTraceEndpoint covers the flight-data path end to end: a fleet job
+// submitted with trace:true serves a Perfetto-loadable Chrome trace at
+// /v1/jobs/{id}/trace, reports event counts in its job view, and never
+// touches the result cache; jobs without the flag answer 404.
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	body := `{"kind":"fleet","fleet":{"scenario":"coex","sessions":2,"seed":7,"duration_ms":200,"trace":true}}`
+
+	resp1, v1 := postJob(t, ts, body, true)
+	if resp1.StatusCode != http.StatusOK || v1.State != StateDone {
+		t.Fatalf("traced submit: status %d state %s error %q", resp1.StatusCode, v1.State, v1.Error)
+	}
+	if v1.TraceSessions == 0 || v1.TraceEvents == 0 {
+		t.Errorf("job view trace counts = %d sessions / %d events, want nonzero",
+			v1.TraceSessions, v1.TraceEvents)
+	}
+
+	tresp, err := http.Get(ts.URL + "/v1/jobs/" + v1.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace endpoint status %d", tresp.StatusCode)
+	}
+	if ct := tresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace Content-Type = %q", ct)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace body is not Chrome trace-event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace document has no traceEvents")
+	}
+
+	// Traced jobs bypass the cache in both directions: resubmitting the
+	// same traced spec re-runs (miss), and the run is never Put — so a
+	// later identical submission also misses.
+	resp2, v2 := postJob(t, ts, body, true)
+	if got := resp2.Header.Get("X-Movr-Cache"); got != "miss" {
+		t.Errorf("traced resubmit X-Movr-Cache = %q, want miss", got)
+	}
+	if v2.Cached {
+		t.Error("traced resubmit must not be served from cache")
+	}
+	if !bytes.Equal(v1.Result, v2.Result) {
+		t.Error("traced re-run result JSON is not byte-identical (determinism)")
+	}
+
+	// A job without the flag has no trace.
+	_, v3 := postJob(t, ts, `{"kind":"fleet","fleet":{"scenario":"home","sessions":1,"seed":3,"duration_ms":100}}`, true)
+	nresp, err := http.Get(ts.URL + "/v1/jobs/" + v3.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Errorf("untraced job trace endpoint status %d, want 404", nresp.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mb bytes.Buffer
+	mb.ReadFrom(mresp.Body)
+	mtext := mb.String()
+	for _, want := range []string{
+		"movrd_traced_jobs_total 2",
+		`movrd_jobs_by_scenario_total{scenario="coex"} 2`,
+		`movrd_jobs_by_scenario_total{scenario="home"} 1`,
+		"movrd_job_queue_wait_seconds_count 3",
+	} {
+		if !strings.Contains(mtext, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

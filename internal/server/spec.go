@@ -91,6 +91,14 @@ type FleetJobSpec struct {
 	// scenario shorthands into scenario "coex" with the matching
 	// policy, so the two spellings share one cache entry.
 	CoexPolicy string `json:"coex_policy,omitempty"`
+
+	// Trace records a per-session structured event trace during the run
+	// and exposes it at GET /v1/jobs/{id}/trace as Chrome trace-event
+	// JSON (Perfetto-loadable). Traced jobs bypass the result cache —
+	// the trace is part of the product, and the cache stores only
+	// result bytes. False is omitted from the canonical encoding, so
+	// pre-trace specs keep their hashes.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Fig9JobSpec parameterizes the §5.2 SNR-improvement study.

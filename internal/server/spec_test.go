@@ -262,3 +262,30 @@ func TestPreCoexHashesUnchanged(t *testing.T) {
 		}
 	}
 }
+
+func TestHashStableWithTraceFalse(t *testing.T) {
+	// trace:false must fold away under omitempty so every pre-trace
+	// spec keeps its hash (and its cached results stay valid); only
+	// trace:true changes the identity.
+	plain := JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Seed: 5}}
+	off := JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Seed: 5, Trace: false}}
+	on := JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Seed: 5, Trace: true}}
+	hPlain, err := plain.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hOff, err := off.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hOn, err := on.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hPlain != hOff {
+		t.Errorf("trace:false changed the spec hash:\n%s\n%s", hPlain, hOff)
+	}
+	if hOn == hPlain {
+		t.Error("trace:true must change the spec hash")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/movr-sim/movr/internal/obs"
 	"github.com/movr-sim/movr/internal/sim"
 	"github.com/movr-sim/movr/internal/stats"
 	"github.com/movr-sim/movr/internal/units"
@@ -67,6 +68,11 @@ type Config struct {
 
 	// Duration is the session length.
 	Duration time.Duration
+
+	// Obs, when non-nil, receives a frame_ok or frame_miss event per
+	// frame. Recording is observation only: it never feeds back into
+	// delivery, so traced and untraced runs produce identical Reports.
+	Obs *obs.Recorder
 }
 
 // Run simulates frame delivery: each frame interval a frame of
@@ -122,12 +128,20 @@ func Run(engine *sim.Engine, cfg Config, rate RateFunc) Report {
 				rep.Delivered++
 				latencies = append(latencies, elapsed)
 				outage = 0
+				cfg.Obs.EmitAt(start, obs.KindFrameOK, int32(i), 0, elapsed.Seconds(), 0)
 			} else {
 				rep.Glitches++
 				outage += interval
 				if outage > rep.LongestOutage {
 					rep.LongestOutage = outage
 				}
+				frac := 1 - remaining/frameBits
+				if frac < 0 {
+					frac = 0
+				} else if frac > 1 {
+					frac = 1
+				}
+				cfg.Obs.EmitAt(start, obs.KindFrameMiss, int32(i), 0, frac, 0)
 			}
 		})
 	}

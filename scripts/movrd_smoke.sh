@@ -22,14 +22,15 @@ trap cleanup EXIT INT TERM
 echo "movrd-smoke: building"
 go build -o "$workdir/movrd" ./cmd/movrd
 
-"$workdir/movrd" -addr 127.0.0.1:0 -workers 2 >"$log" 2>&1 &
+"$workdir/movrd" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 -workers 2 >"$log" 2>&1 &
 pid=$!
 
-# The daemon logs "listening on <addr>" with the resolved port.
+# The daemon logs "listening on <addr>" with the resolved port (and the
+# debug listener logs its own "debug listening on <addr>" line).
 addr=""
 i=0
 while [ $i -lt 100 ]; do
-    addr="$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$log" | head -n 1)"
+    addr="$(sed -n 's/.*movrd: listening on \([0-9.:]*\)$/\1/p' "$log" | head -n 1)"
     [ -n "$addr" ] && break
     kill -0 "$pid" 2>/dev/null || { echo "movrd-smoke: daemon died:"; cat "$log"; exit 1; }
     i=$((i + 1))
@@ -84,6 +85,34 @@ echo "movrd-smoke: resubmit ok (hit, result sha $sha1)"
 curl -s "http://$addr/metrics" >"$workdir/metrics"
 grep -q '^movrd_cache_hits_total 1$' "$workdir/metrics" || fail "/metrics does not report the cache hit"
 grep -q '^movrd_jobs_done_total 2$' "$workdir/metrics" || fail "/metrics does not report both jobs done"
+grep -q '^movrd_job_queue_wait_seconds_count 1$' "$workdir/metrics" || fail "/metrics does not report the queue-wait sample"
+grep -q 'movrd_jobs_by_scenario_total{scenario="home"} 2' "$workdir/metrics" || fail "/metrics does not report the per-scenario counter"
 echo "movrd-smoke: /metrics reports the cache hit"
+
+# Traced job: bypasses the cache and serves a Perfetto-loadable trace.
+tspec='{"kind":"fleet","fleet":{"scenario":"coex","sessions":2,"seed":7,"duration_ms":300,"trace":true}}'
+code="$(curl -s -o "$workdir/r3" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' -d "$tspec" \
+    "http://$addr/v1/jobs?wait=1")"
+[ "$code" = 200 ] || fail "traced submit returned $code: $(cat "$workdir/r3")"
+jobid="$(sed -n 's/.*"id": "\(job-[0-9]*\)".*/\1/p' "$workdir/r3" | head -n 1)"
+[ -n "$jobid" ] || fail "no job id in traced response"
+code="$(curl -s -o "$workdir/trace.json" -w '%{http_code}' "http://$addr/v1/jobs/$jobid/trace")"
+[ "$code" = 200 ] || fail "trace endpoint returned $code"
+grep -q '"traceEvents"' "$workdir/trace.json" || fail "trace body is not Chrome trace-event JSON"
+echo "movrd-smoke: trace endpoint serves Chrome trace JSON"
+
+# Debug listener: pprof and expvar live on their own socket, never the
+# job API address.
+daddr="$(sed -n 's/.*movrd: debug listening on \([0-9.:]*\)$/\1/p' "$log" | head -n 1)"
+[ -n "$daddr" ] || fail "never saw the debug listen line"
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$daddr/debug/pprof/cmdline")"
+[ "$code" = 200 ] || fail "/debug/pprof/cmdline returned $code"
+code="$(curl -s -o "$workdir/vars" -w '%{http_code}' "http://$daddr/debug/vars")"
+[ "$code" = 200 ] || fail "/debug/vars returned $code"
+grep -q '"cmdline"' "$workdir/vars" || fail "/debug/vars is not expvar JSON"
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/debug/pprof/cmdline")"
+[ "$code" = 200 ] && fail "pprof reachable on the job API address"
+echo "movrd-smoke: debug listener serves pprof and expvar"
 
 echo "movrd-smoke: PASS"
