@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build build-cmds vet fmt-check test race bench bench-suite bench-gate bench-baseline serve ci
+.PHONY: build build-cmds vet fmt-check test race bench bench-suite bench-gate bench-baseline serve load-smoke ci
 
 build:
 	$(GO) build ./...
@@ -51,7 +51,14 @@ bench-baseline:
 
 # Start movrd, poll /healthz, submit a tiny fleet job, and assert the
 # resubmission is a byte-identical cache hit — the CI movrd-smoke step.
+# Also checks the v1 error envelope and listing pagination.
 serve:
 	sh scripts/movrd_smoke.sh
 
-ci: build build-cmds vet fmt-check test race bench serve bench-gate
+# Replay a movrload burst against a live movrd (p95 gate + 429
+# backpressure), then SIGKILL it and assert the restart serves the
+# persisted result from the durable store — the CI load-smoke job.
+load-smoke:
+	sh scripts/movrd_load_smoke.sh
+
+ci: build build-cmds vet fmt-check test race bench serve load-smoke bench-gate

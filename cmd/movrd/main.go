@@ -13,6 +13,9 @@
 //	-max-jobs N  jobs executing concurrently (default 4)
 //	-queue N     queued-job bound; full queue answers 429 (default 16)
 //	-cache N     result-cache entries (default 256)
+//	-cache-dir D durable result-store directory; completed results are
+//	             fsync'd to D/results.log and survive restarts (empty =
+//	             memory-only cache)
 //	-retain N    finished-job records kept for GET /v1/jobs (default 1024)
 //	-debug-addr A  optional second listener with net/http/pprof under
 //	               /debug/pprof/ and expvar under /debug/vars; off when
@@ -59,6 +62,7 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 0, "concurrently executing jobs (0 = default 4)")
 	queue := flag.Int("queue", 0, "queued-job bound (0 = default 16)")
 	cacheN := flag.Int("cache", 0, "result-cache entries (0 = default 256)")
+	cacheDir := flag.String("cache-dir", "", "durable result-store directory (empty = memory-only cache)")
 	retain := flag.Int("retain", 0, "finished-job records kept (0 = default 1024)")
 	debugAddr := flag.String("debug-addr", "", "pprof/expvar listen address (empty = disabled)")
 	flag.Parse()
@@ -68,13 +72,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := server.New(server.Options{
+	srv, err := server.New(server.Options{
 		Workers:      *workers,
 		MaxJobs:      *maxJobs,
 		QueueDepth:   *queue,
 		CacheEntries: *cacheN,
+		CacheDir:     *cacheDir,
 		RetainJobs:   *retain,
 	})
+	if err != nil {
+		log.Fatalf("movrd: %v", err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

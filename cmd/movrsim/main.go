@@ -35,6 +35,12 @@
 //	              the coexpf/coexedf scenarios force pf/edf)
 //	-uplink D     pose-report uplink sub-slot reserved per player per scheduling
 //	              window, e.g. 200us (coex family, default 0 = off)
+//	-agg M        fleet aggregation: exact (default; legacy output, per-session
+//	              outcomes in memory) or stream (constant-memory mergeable
+//	              sketches — percentiles within the sketch error bound)
+//	-shard I/N    run only fleet shard I of N (contiguous session ranges,
+//	              0-indexed); shard outputs merge deterministically, see the
+//	              README's "Running movrd at scale"
 //	-trace P      write a per-session event trace to P (session and fleet only):
 //	              Chrome trace-event JSON loadable in Perfetto, or JSONL when P
 //	              ends in .jsonl; summarize with movrtrace -analyze P
@@ -72,6 +78,8 @@ func main() {
 	coexPolicy := flag.String("coex-policy", "", "airtime policy for coex bays: "+movr.CoexPolicyNames()+" (coex scenarios; default rr)")
 	uplink := flag.Duration("uplink", 0, "pose-uplink sub-slot reserved per player per window (coex scenarios; 0 = off)")
 	tracePath := flag.String("trace", "", "write a per-session event trace (Perfetto-loadable Chrome JSON; use a .jsonl path for JSONL) — session and fleet only")
+	aggMode := flag.String("agg", "", `fleet aggregation: "exact" (default) or "stream"`)
+	shardSpec := flag.String("shard", "", "run only fleet shard I/N (e.g. 1/4) — fleet only")
 	benchOut := flag.String("bench-out", "", "bench report path (default BENCH_<git-sha>.json)")
 	benchCompare := flag.String("bench-compare", "", "baseline BENCH_*.json to gate against")
 	benchTolPct := flag.Float64("bench-tol-pct", 50, "allowed ns/op regression in percent")
@@ -152,7 +160,26 @@ func main() {
 		}
 	}
 
+	switch *aggMode {
+	case "", "exact", "stream":
+	default:
+		fmt.Fprintf(os.Stderr, "movrsim: -agg %q must be exact or stream\n\n", *aggMode)
+		usage()
+		os.Exit(2)
+	}
+	shard, err := parseShard(*shardSpec, *sessions)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "movrsim: %v\n\n", err)
+		usage()
+		os.Exit(2)
+	}
+
 	cmd := flag.Arg(0)
+	if (*aggMode != "" || *shardSpec != "") && cmd != "fleet" {
+		fmt.Fprintf(os.Stderr, "movrsim: -agg and -shard are only meaningful with the fleet experiment\n\n")
+		usage()
+		os.Exit(2)
+	}
 	if *tracePath != "" && cmd != "fleet" && cmd != "session" {
 		fmt.Fprintf(os.Stderr, "movrsim: -trace is only meaningful with the session and fleet experiments\n\n")
 		usage()
@@ -181,7 +208,7 @@ func main() {
 	case "ablations":
 		runAblations(*seed)
 	case "fleet":
-		runFleet(*seed, *workers, *sessions, *players, policy, *uplink, kind, *fast, *tracePath)
+		runFleet(*seed, *workers, *sessions, *players, policy, *uplink, kind, *fast, *tracePath, *aggMode, shard)
 	case "bench":
 		runBench(*benchOut, *benchCompare, *benchTolPct, *benchAllocTol, *fast)
 	case "all":
@@ -205,7 +232,7 @@ func main() {
 		fmt.Println()
 		runAblations(*seed)
 		fmt.Println()
-		runFleet(*seed, *workers, *sessions, *players, policy, *uplink, kind, *fast, "")
+		runFleet(*seed, *workers, *sessions, *players, policy, *uplink, kind, *fast, "", "", nil)
 	default:
 		fmt.Fprintf(os.Stderr, "movrsim: unknown experiment %q\n\n", cmd)
 		usage()
@@ -316,7 +343,31 @@ func runMap(workers int) {
 	fmt.Print(movr.RunHeatmap(with).Render("VR coverage — AP + MoVR reflector"))
 }
 
-func runFleet(seed int64, workers, sessions, players int, policy movr.CoexPolicyName, uplink time.Duration, kind movr.FleetScenarioKind, fast bool, tracePath string) {
+// parseShard parses "I/N" into a validated FleetShard (nil when the
+// flag is unset or names the whole fleet, keeping output byte-identical
+// to an unsharded run).
+func parseShard(s string, sessions int) (*movr.FleetShard, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var idx, count int
+	if n, err := fmt.Sscanf(s, "%d/%d", &idx, &count); n != 2 || err != nil {
+		return nil, fmt.Errorf("-shard %q must be I/N, e.g. 1/4", s)
+	}
+	sh := movr.FleetShard{Index: idx, Count: count}
+	if err := sh.Validate(); err != nil {
+		return nil, fmt.Errorf("-shard %q: %w", s, err)
+	}
+	if count > sessions {
+		return nil, fmt.Errorf("-shard %q: %d shards exceed %d sessions", s, count, sessions)
+	}
+	if count == 1 {
+		return nil, nil
+	}
+	return &sh, nil
+}
+
+func runFleet(seed int64, workers, sessions, players int, policy movr.CoexPolicyName, uplink time.Duration, kind movr.FleetScenarioKind, fast bool, tracePath string, aggMode string, shard *movr.FleetShard) {
 	cfg := movr.FleetScenarioConfig{
 		Seed:            seed,
 		Duration:        10 * time.Second,
@@ -346,16 +397,27 @@ func runFleet(seed int64, workers, sessions, players int, policy movr.CoexPolicy
 		fmt.Fprintf(os.Stderr, "movrsim: fleet: %v\n", err)
 		os.Exit(1)
 	}
+	// The streaming collector's sketch ranges come from the full spec
+	// set before any shard slice, so shard states stay mergeable.
+	var col movr.FleetCollector
+	if aggMode == "stream" {
+		col = movr.NewFleetStreamCollector(specs)
+	}
+	title := kind.Title()
+	if shard != nil {
+		specs = shard.Slice(specs)
+		title += fmt.Sprintf(" [shard %d/%d]", shard.Index, shard.Count)
+	}
 	var recs []*obs.Recorder
 	if tracePath != "" {
 		recs = fleet.AttachTraceRecorders(specs, 0)
 	}
-	res, err := movr.RunFleet(context.Background(), specs, movr.FleetConfig{Workers: workers})
+	res, err := movr.RunFleetCollect(context.Background(), specs, movr.FleetConfig{Workers: workers}, col)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "movrsim: fleet: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Print(res.Render(kind.Title()))
+	fmt.Print(res.Render(title))
 	if tracePath != "" {
 		writeTrace(fleet.CollectTrace(specs, recs), tracePath)
 	}

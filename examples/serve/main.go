@@ -1,98 +1,87 @@
-// Serve: run the movrd job API in-process and drive it as a client —
-// submit a fleet job, watch its per-session progress stream, resubmit
-// the same spec to hit the deterministic result cache, and read the
-// Prometheus metrics that prove it. This is the whole simulation-as-a-
-// service loop in one runnable file; `cmd/movrd` serves the same
+// Serve: run the movrd job API in-process and drive it through the
+// movrclient package — submit a fleet job, watch its per-session
+// progress stream, resubmit the same spec to hit the deterministic
+// result cache, and read the Prometheus metrics that prove it. This is
+// the whole simulation-as-a-service loop in one runnable file, on the
+// same client idiom the load harness uses; `cmd/movrd` serves the same
 // handler as a standalone daemon.
 package main
 
 import (
-	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
-	"net/http"
 	"net/http/httptest"
 	"strings"
 
+	"github.com/movr-sim/movr/internal/movrclient"
 	"github.com/movr-sim/movr/internal/server"
 )
 
-const spec = `{"kind":"fleet","fleet":{"scenario":"mixed","sessions":6,"seed":1,"duration_ms":1000}}`
-
 func main() {
-	srv := server.New(server.Options{Workers: 0}) // all cores
+	srv, err := server.New(server.Options{Workers: 0}) // all cores
+	if err != nil {
+		panic(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	fmt.Printf("serving the simulator at %s\n\n", ts.URL)
 
-	// Submit and block until done (?wait=1).
-	resp, err := http.Post(ts.URL+"/v1/jobs?wait=1", "application/json", strings.NewReader(spec))
+	ctx := context.Background()
+	client := movrclient.New(ts.URL)
+	spec := map[string]any{
+		"kind": "fleet",
+		"fleet": map[string]any{
+			"scenario": "mixed", "sessions": 6, "seed": 1, "duration_ms": 1000,
+		},
+	}
+
+	// Submit and block until done.
+	job, err := client.SubmitWait(ctx, spec)
 	if err != nil {
 		panic(err)
 	}
-	var job struct {
-		ID        string `json:"id"`
-		State     string `json:"state"`
-		Cached    bool   `json:"cached"`
-		ElapsedMS int64  `json:"elapsed_ms"`
-		Result    struct {
-			Render string `json:"render"`
-		} `json:"result"`
+	var result struct {
+		Render string `json:"render"`
 	}
-	decode(resp, &job)
+	if err := json.Unmarshal(job.Result, &result); err != nil {
+		panic(err)
+	}
 	fmt.Printf("job %s: %s in %d ms (cache %s)\n\n%s\n", job.ID, job.State,
-		job.ElapsedMS, resp.Header.Get("X-Movr-Cache"), job.Result.Render)
+		job.ElapsedMS, job.CacheDisposition, result.Render)
 
 	// The progress stream replays per-session completion events.
-	events, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/events")
+	fmt.Println("event stream:")
+	err = client.StreamEvents(ctx, job.ID, func(ev movrclient.Event) error {
+		line, _ := json.Marshal(ev)
+		fmt.Printf("  %s\n", line)
+		return nil
+	})
 	if err != nil {
 		panic(err)
-	}
-	defer events.Body.Close()
-	fmt.Println("event stream:")
-	sc := bufio.NewScanner(events.Body)
-	for sc.Scan() {
-		if line, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
-			fmt.Printf("  %s\n", line)
-		}
 	}
 
 	// Same spec again: served from the deterministic cache, instantly.
-	resp2, err := http.Post(ts.URL+"/v1/jobs?wait=1", "application/json", strings.NewReader(spec))
+	job2, err := client.SubmitWait(ctx, spec)
 	if err != nil {
 		panic(err)
 	}
-	var job2 struct {
-		Cached    bool   `json:"cached"`
-		ResultSHA string `json:"result_sha256"`
-	}
-	decode(resp2, &job2)
 	fmt.Printf("\nresubmit: cache %s, cached=%v, result sha %s...\n",
-		resp2.Header.Get("X-Movr-Cache"), job2.Cached, job2.ResultSHA[:16])
+		job2.CacheDisposition, job2.Cached, job2.ResultSHA[:16])
 
 	// And the metrics tell the story.
-	met, err := http.Get(ts.URL + "/metrics")
+	metrics, err := client.Metrics(ctx)
 	if err != nil {
 		panic(err)
 	}
-	defer met.Body.Close()
 	fmt.Println("\nselected metrics:")
-	msc := bufio.NewScanner(met.Body)
-	for msc.Scan() {
-		line := msc.Text()
+	for _, line := range strings.Split(metrics, "\n") {
 		if strings.HasPrefix(line, "movrd_cache_") ||
 			strings.HasPrefix(line, "movrd_jobs_done_total") ||
 			strings.HasPrefix(line, "movrd_sessions_completed_total") ||
 			strings.HasPrefix(line, "movrd_pool_capacity") {
 			fmt.Printf("  %s\n", line)
 		}
-	}
-}
-
-func decode(resp *http.Response, v any) {
-	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		panic(err)
 	}
 }

@@ -177,6 +177,7 @@ func TestSuiteShape(t *testing.T) {
 		"obs/record", "obs/off",
 		"fleet/mixed", "fleet/arcade", "fleet/home", "fleet/dense",
 		"fleet/coex", "fleet/coexpf", "fleet/coexedf",
+		"server/aggregate_stream",
 		"movrd/submit",
 	}
 	suite := Suite()

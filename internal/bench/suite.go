@@ -21,6 +21,7 @@ import (
 	"github.com/movr-sim/movr/internal/reflector"
 	"github.com/movr-sim/movr/internal/room"
 	"github.com/movr-sim/movr/internal/server"
+	"github.com/movr-sim/movr/internal/stream"
 	"github.com/movr-sim/movr/internal/vr"
 )
 
@@ -40,7 +41,7 @@ func Suite() []Spec {
 	for _, kind := range fleet.Kinds {
 		specs = append(specs, fleetSpec(kind))
 	}
-	return append(specs, movrdSpec())
+	return append(specs, aggregateStreamSpec(), movrdSpec())
 }
 
 // tracerSpec measures one steady-state TraceHInto in the furnished
@@ -259,6 +260,48 @@ func fleetSpec(kind fleet.Kind) Spec {
 	}
 }
 
+// aggregateStreamSpec prices one session fold into the streaming
+// collector — the per-session cost that replaces holding a
+// SessionOutcome in memory when a job runs with agg:"stream". The fold
+// is the constant-memory guarantee's hot path, so it must stay
+// allocation-free: the suite's zero alloc-regression gate pins it at 0
+// allocs/op.
+func aggregateStreamSpec() Spec {
+	var col *fleet.StreamCollector
+	outcome := fleet.SessionOutcome{
+		ID: "bench/s0",
+		Report: stream.Report{
+			Frames:        7200,
+			Delivered:     7000,
+			Glitches:      200,
+			GlitchFrac:    200.0 / 7200,
+			LongestOutage: 120 * time.Millisecond,
+			TotalOutage:   340 * time.Millisecond,
+		},
+		DeliveredFrac: 7000.0 / 7200,
+		Handoffs:      3,
+	}
+	return Spec{
+		Name:      "server/aggregate_stream",
+		Warmup:    3,
+		Reps:      20,
+		OpsPerRep: 100000,
+		Setup: func() (func(), error) {
+			col = fleet.NewStreamCollector(10)
+			return nil, nil
+		},
+		Op: func() error {
+			for i := 0; i < 100000; i++ {
+				col.Add(i, outcome)
+			}
+			if col.Result().Stream.Sessions == 0 {
+				return fmt.Errorf("collector folded nothing")
+			}
+			return nil
+		},
+	}
+}
+
 // movrdSpec measures the daemon's submit→result round trip in process:
 // spec decode, normalization and hashing, scheduling onto the shared
 // pool, fleet execution, result encoding — everything but the TCP socket.
@@ -272,7 +315,11 @@ func movrdSpec() Spec {
 		Warmup: 2,
 		Reps:   10,
 		Setup: func() (func(), error) {
-			srv = server.New(server.Options{Workers: suiteWorkers})
+			var err error
+			srv, err = server.New(server.Options{Workers: suiteWorkers})
+			if err != nil {
+				return nil, err
+			}
 			return srv.Close, nil
 		},
 		Op: func() error {

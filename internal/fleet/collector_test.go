@@ -1,0 +1,420 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/movr-sim/movr/internal/stream"
+)
+
+// syntheticOutcomes builds n deterministic outcomes spanning the metric
+// ranges, without running any simulation — fast fodder for the
+// order-invariance and memory properties.
+func syntheticOutcomes(n int, seed int64) []SessionOutcome {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]SessionOutcome, n)
+	for i := range out {
+		frames := 100 + rng.Intn(200)
+		delivered := rng.Intn(frames + 1)
+		glitches := frames - delivered
+		out[i] = SessionOutcome{
+			ID:   "synth",
+			Seed: int64(i),
+			Report: stream.Report{
+				Frames:        frames,
+				Delivered:     delivered,
+				Glitches:      glitches,
+				GlitchFrac:    float64(glitches) / float64(frames),
+				TotalOutage:   time.Duration(rng.Int63n(int64(2 * time.Second))),
+				LongestOutage: time.Duration(rng.Int63n(int64(time.Second))),
+			},
+			Handoffs:      rng.Intn(20),
+			DeliveredFrac: float64(delivered) / float64(frames),
+		}
+	}
+	return out
+}
+
+// TestStreamStateOrderInvariant pins the property the whole streaming
+// design rests on: folding the same outcomes in any order — including
+// split across collectors merged in any order — yields bit-identical
+// state, so worker scheduling can never leak into results.
+func TestStreamStateOrderInvariant(t *testing.T) {
+	outcomes := syntheticOutcomes(257, 11)
+	baseline := NewStreamCollector(2)
+	for i, o := range outcomes {
+		baseline.Add(i, o)
+	}
+	want, err := json.Marshal(baseline.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		perm := rng.Perm(len(outcomes))
+		c := NewStreamCollector(2)
+		for _, i := range perm {
+			c.Add(i, outcomes[i])
+		}
+		got, err := json.Marshal(c.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("trial %d: permuted fold produced different state", trial)
+		}
+	}
+
+	// Split into uneven parts, merge in shuffled orders.
+	for trial := 0; trial < 5; trial++ {
+		cuts := []int{0, 31, 100, 181, len(outcomes)}
+		parts := make([]StreamState, 0, len(cuts)-1)
+		for p := 0; p+1 < len(cuts); p++ {
+			c := NewStreamCollector(2)
+			for i := cuts[p]; i < cuts[p+1]; i++ {
+				c.Add(i, outcomes[i])
+			}
+			parts = append(parts, c.State())
+		}
+		perm := rng.Perm(len(parts))
+		shuffled := make([]StreamState, len(parts))
+		for i, j := range perm {
+			shuffled[i] = parts[j]
+		}
+		merged, err := MergeStreamStates(shuffled...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("trial %d: shuffled merge produced different state", trial)
+		}
+	}
+}
+
+// TestShardRangesPartition checks the shard math: for any n and count,
+// the ranges tile [0, n) contiguously with sizes differing by at most
+// one.
+func TestShardRangesPartition(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 100, 101, 4096} {
+		for count := 1; count <= 10; count++ {
+			next, minSz, maxSz := 0, n, 0
+			for i := 0; i < count; i++ {
+				sh := Shard{Index: i, Count: count}
+				if err := sh.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				lo, hi := sh.Range(n)
+				if lo != next || hi < lo {
+					t.Fatalf("n=%d count=%d shard %d: range [%d,%d), want lo=%d", n, count, i, lo, hi, next)
+				}
+				if sz := hi - lo; sz < minSz {
+					minSz = sz
+				} else if sz > maxSz {
+					maxSz = sz
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d count=%d: ranges cover [0,%d), want [0,%d)", n, count, next, n)
+			}
+			if count <= n && maxSz-minSz > 1 {
+				t.Fatalf("n=%d count=%d: shard sizes span [%d,%d]", n, count, minSz, maxSz)
+			}
+		}
+	}
+	if err := (Shard{Index: 2, Count: 2}).Validate(); err == nil {
+		t.Fatal("index == count validated")
+	}
+	if err := (Shard{Index: 0, Count: 0}).Validate(); err == nil {
+		t.Fatal("count 0 validated")
+	}
+}
+
+// TestShardMergeMatchesUnsharded is the sharding property test across
+// scenario kinds × shard counts: the exact path must merge to the
+// unsharded Result byte for byte, and the streaming path must merge to
+// the unsharded streaming state bit for bit with percentiles within the
+// sketch bound of the exact aggregate.
+func TestShardMergeMatchesUnsharded(t *testing.T) {
+	cfg := ScenarioConfig{
+		Duration:     300 * time.Millisecond,
+		ReEvalPeriod: 50 * time.Millisecond,
+		Seed:         7,
+	}
+	kinds := []Kind{KindMixed, KindHome, KindCoex}
+	if testing.Short() {
+		kinds = []Kind{KindMixed}
+	}
+	for _, kind := range kinds {
+		specs, err := kind.Specs(8, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		unsharded, err := Run(context.Background(), specs, Config{Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		wantExact, err := json.Marshal(unsharded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamRef, err := RunCollect(context.Background(), specs, Config{Workers: 2}, StreamCollectorFor(specs))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		wantStream, err := json.Marshal(streamRef.Stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, count := range []int{2, 3, 4} {
+			exactParts := make([]Result, count)
+			streamParts := make([]Result, count)
+			for i := 0; i < count; i++ {
+				sh := Shard{Index: i, Count: count}
+				part := sh.Slice(specs)
+				if exactParts[i], err = Run(context.Background(), part, Config{Workers: 2}); err != nil {
+					t.Fatalf("%s shard %d/%d: %v", kind, i, count, err)
+				}
+				// Every shard sizes its sketches from the FULL spec set,
+				// exactly as independent shard runners of one job spec do.
+				if streamParts[i], err = RunCollect(context.Background(), part, Config{Workers: 2}, StreamCollectorFor(specs)); err != nil {
+					t.Fatalf("%s shard %d/%d: %v", kind, i, count, err)
+				}
+			}
+
+			mergedExact, err := MergeShardResults(exactParts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotExact, err := json.Marshal(mergedExact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotExact) != string(wantExact) {
+				t.Fatalf("%s %d-shard exact merge differs from unsharded run", kind, count)
+			}
+
+			mergedStream, err := MergeShardResults(streamParts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotStream, err := json.Marshal(mergedStream.Stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotStream) != string(wantStream) {
+				t.Fatalf("%s %d-shard stream merge differs from unsharded streaming run", kind, count)
+			}
+			assertStreamWithinBound(t, unsharded.Agg, mergedStream)
+		}
+	}
+}
+
+// assertStreamWithinBound checks every streaming-aggregate field
+// against the exact aggregate: totals and extrema exact, means within
+// fixed-point quantization, percentiles within the documented sketch
+// bound.
+func assertStreamWithinBound(t *testing.T, exact Aggregate, streamed Result) {
+	t.Helper()
+	st := streamed.Stream
+	if st == nil {
+		t.Fatal("streaming result carries no state")
+	}
+	agg := streamed.Agg
+	if agg.Sessions != exact.Sessions || agg.Frames != exact.Frames ||
+		agg.Delivered != exact.Delivered || agg.Glitches != exact.Glitches ||
+		agg.TotalHandoffs != exact.TotalHandoffs || agg.WorstOutage != exact.WorstOutage {
+		t.Fatalf("streaming totals differ from exact:\n  stream %+v\n  exact  %+v", agg, exact)
+	}
+	check := func(name string, got, want Quantiles, sketch MetricSketch) {
+		bound := sketch.ErrorBound()
+		for _, c := range []struct {
+			label string
+			g, w  float64
+			tol   float64
+		}{
+			{"p50", got.P50, want.P50, bound},
+			{"p95", got.P95, want.P95, bound},
+			{"p99", got.P99, want.P99, bound},
+			{"mean", got.Mean, want.Mean, 1e-6},
+			{"min", got.Min, want.Min, 0},
+			{"max", got.Max, want.Max, 0},
+		} {
+			if math.Abs(c.g-c.w) > c.tol {
+				t.Errorf("%s %s: stream %v vs exact %v exceeds bound %v", name, c.label, c.g, c.w, c.tol)
+			}
+		}
+	}
+	check("delivered_frac", agg.DeliveredFrac, exact.DeliveredFrac, st.DeliveredFrac)
+	check("glitch_frac", agg.GlitchFrac, exact.GlitchFrac, st.GlitchFrac)
+	check("outage_seconds", agg.OutageSeconds, exact.OutageSeconds, st.OutageSeconds)
+	check("handoffs", agg.Handoffs, exact.Handoffs, st.Handoffs)
+}
+
+// TestStreamWithinBoundSeed7 pins the streaming error bound on the
+// seed-7 coex fixture: the percentile sketch must track the exact
+// aggregate within MetricSketch.ErrorBound on a real policy-scheduled
+// workload, and totals must be exact.
+func TestStreamWithinBoundSeed7(t *testing.T) {
+	cfg := ScenarioConfig{
+		Duration:     500 * time.Millisecond,
+		ReEvalPeriod: 50 * time.Millisecond,
+		Seed:         7,
+	}
+	specs, err := KindCoex.Specs(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Run(context.Background(), specs, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := RunCollect(context.Background(), specs, Config{Workers: 2}, StreamCollectorFor(specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Sessions != nil {
+		t.Fatal("streaming run retained per-session outcomes")
+	}
+	assertStreamWithinBound(t, exact.Agg, streamed)
+}
+
+// TestRunCollectExactMatchesRun pins that the Collector refactor did
+// not move the exact path: RunCollect with an ExactCollector is Run.
+func TestRunCollectExactMatchesRun(t *testing.T) {
+	specs := shortScenario(6, 3)
+	a, err := Run(context.Background(), specs, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCollect(context.Background(), specs, Config{Workers: 2}, NewExactCollector(len(specs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RunCollect(ExactCollector) differs from Run")
+	}
+	c, err := RunCollect(context.Background(), specs, Config{Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("RunCollect(nil) differs from Run")
+	}
+}
+
+// TestStreamCollectorConstantMemory is the constant-RSS acceptance
+// check at the collector level: folding an outcome allocates nothing,
+// and the state size is fixed at construction — so a 100k-session job
+// holds the same collector memory as an 8-session one.
+func TestStreamCollectorConstantMemory(t *testing.T) {
+	c := NewStreamCollector(2)
+	outcomes := syntheticOutcomes(1024, 5)
+	i := 0
+	allocs := testing.AllocsPerRun(100000, func() {
+		c.Add(i, outcomes[i%len(outcomes)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("StreamCollector.Add allocates %.1f objects/op, want 0", allocs)
+	}
+	st := c.State()
+	if st.Sessions < 100000 {
+		t.Fatalf("folded %d sessions, want >= 100000", st.Sessions)
+	}
+	if got := st.Aggregate(); got.Sessions != st.Sessions || got.Frames == 0 {
+		t.Fatalf("aggregate over 100k synthetic sessions looks empty: %+v", got)
+	}
+}
+
+// TestStreamQuantileAgainstExact fuzzes the sketch estimator against
+// stats.Percentile over random samples, checking the documented bound
+// directly.
+func TestStreamQuantileAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(400)
+		m := newMetricSketch(0, 1)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()
+			m.add(xs[i])
+		}
+		for _, p := range []float64{0, 10, 50, 90, 95, 99, 100} {
+			got := m.Quantile(p)
+			want := exactPercentile(xs, p)
+			if math.Abs(got-want) > m.ErrorBound() {
+				t.Fatalf("trial %d n=%d p%.0f: sketch %v vs exact %v exceeds %v",
+					trial, n, p, got, want, m.ErrorBound())
+			}
+		}
+	}
+	var empty MetricSketch
+	if !math.IsNaN(empty.Quantile(50)) || !math.IsNaN(empty.Mean()) {
+		t.Fatal("empty sketch should summarize to NaN")
+	}
+}
+
+// exactPercentile mirrors stats.Percentile without importing it into
+// the fleet package's test (avoiding a reference implementation drift
+// would hide): sort a copy, interpolate at rank p/100·(n−1).
+func exactPercentile(xs []float64, p float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	if len(cp) == 1 {
+		return cp[0]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo < 0 {
+		lo, hi = 0, 0
+	}
+	if hi >= len(cp) {
+		lo, hi = len(cp)-1, len(cp)-1
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// TestMergeRejectsMismatches pins the guard rails: mismatched sketch
+// shapes, schema versions, and mixed exact/stream merges must error
+// rather than silently corrupt aggregates.
+func TestMergeRejectsMismatches(t *testing.T) {
+	a := NewStreamCollector(1).State()
+	b := NewStreamCollector(2).State()
+	if _, err := MergeStreamStates(a, b); err == nil {
+		t.Fatal("merging sketches with different outage ranges succeeded")
+	}
+	bad := a.clone()
+	bad.SchemaV = 99
+	if _, err := MergeStreamStates(a, bad); err == nil {
+		t.Fatal("merging mismatched schema versions succeeded")
+	}
+	if _, err := MergeStreamStates(); err == nil {
+		t.Fatal("merging zero states succeeded")
+	}
+	exact := Result{Sessions: []SessionOutcome{{}}}
+	streamed := Result{Stream: &a}
+	if _, err := MergeShardResults(exact, streamed); err == nil {
+		t.Fatal("merging mixed exact/stream shard results succeeded")
+	}
+	if _, err := MergeShardResults(); err == nil {
+		t.Fatal("merging zero shard results succeeded")
+	}
+}

@@ -129,23 +129,43 @@ type Aggregate struct {
 
 // Result is a completed fleet run.
 type Result struct {
-	// Sessions holds per-session outcomes in spec order.
-	Sessions []SessionOutcome
+	// Sessions holds per-session outcomes in spec order. Streaming-
+	// collector runs keep only constant-size sketch state and leave
+	// Sessions nil (folded away in JSON).
+	Sessions []SessionOutcome `json:",omitempty"`
 
 	// Agg is the fleet-level aggregate over Sessions.
 	Agg Aggregate
+
+	// Stream is the mergeable sketch state of a streaming-collector
+	// run: what sharded jobs carry so their aggregates can be merged.
+	// Nil on the exact path.
+	Stream *StreamState `json:",omitempty"`
 }
 
 // Run simulates every spec across the worker pool and aggregates the
-// outcomes. The same specs produce byte-identical Results for any
+// outcomes through the exact collector — every outcome retained in
+// spec order. The same specs produce byte-identical Results for any
 // cfg.Workers; the first failing session cancels the rest and is
 // returned as the error.
 func Run(ctx context.Context, specs []Spec, cfg Config) (Result, error) {
+	return RunCollect(ctx, specs, cfg, NewExactCollector(len(specs)))
+}
+
+// RunCollect simulates every spec across the worker pool, feeding each
+// outcome to col as it completes, and returns col's Result. With an
+// ExactCollector this is exactly Run; with a StreamCollector the run
+// holds constant memory whatever len(specs) — no per-session slice is
+// ever allocated. A nil col defaults to the exact collector.
+func RunCollect(ctx context.Context, specs []Spec, cfg Config, col Collector) (Result, error) {
 	if len(specs) == 0 {
 		return Result{}, fmt.Errorf("fleet: no sessions to run")
 	}
+	if col == nil {
+		col = NewExactCollector(len(specs))
+	}
 	var completed atomic.Int64
-	run := func(_ context.Context, i int) (SessionOutcome, error) {
+	run := func(_ context.Context, i int) error {
 		sp := specs[i]
 		variant := sp.Variant
 		if variant == "" {
@@ -153,7 +173,7 @@ func Run(ctx context.Context, specs []Spec, cfg Config) (Result, error) {
 		}
 		out, err := experiments.RunSessionVariant(sp.Session, variant)
 		if err != nil {
-			return SessionOutcome{}, fmt.Errorf("session %q: %w", sp.ID, err)
+			return fmt.Errorf("session %q: %w", sp.ID, err)
 		}
 		o := SessionOutcome{
 			ID:       sp.ID,
@@ -165,24 +185,22 @@ func Run(ctx context.Context, specs []Spec, cfg Config) (Result, error) {
 		if out.Report.Frames > 0 {
 			o.DeliveredFrac = float64(out.Report.Delivered) / float64(out.Report.Frames)
 		}
+		col.Add(i, o)
 		if cfg.OnSession != nil {
 			cfg.OnSession(int(completed.Add(1)), len(specs), o)
 		}
-		return o, nil
+		return nil
 	}
-	var (
-		outcomes []SessionOutcome
-		err      error
-	)
+	var err error
 	if cfg.Runner != nil {
-		outcomes, err = pool.MapOn(ctx, cfg.Runner, len(specs), run)
+		err = cfg.Runner.ForEach(ctx, len(specs), run)
 	} else {
-		outcomes, err = pool.Map(ctx, len(specs), cfg.Workers, run)
+		err = pool.ForEach(ctx, len(specs), cfg.Workers, run)
 	}
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Sessions: outcomes, Agg: aggregate(outcomes)}, nil
+	return col.Result(), nil
 }
 
 // aggregate folds per-session outcomes (in spec order) into the fleet

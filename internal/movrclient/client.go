@@ -1,0 +1,401 @@
+// Package movrclient is the Go client for the movrd v1 job API: submit
+// simulation specs, poll or block for results, stream per-session
+// progress events, page through the job listing, and fetch trace
+// artifacts. It is the one in-repo consumer idiom for the HTTP surface
+// — examples/serve and cmd/movrload both drive movrd through it, so
+// any drift between server and client breaks visibly in tests.
+//
+// Submissions retry transparently on 429 queue_full backpressure,
+// honoring the server's Retry-After hint with exponential backoff
+// between attempts. All other non-2xx responses surface as *APIError
+// carrying the stable machine-readable code from the v1 error
+// envelope.
+package movrclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to one movrd instance. The zero value is not usable;
+// call New. Fields may be adjusted before first use.
+type Client struct {
+	// BaseURL is the daemon address, e.g. "http://127.0.0.1:8477".
+	BaseURL string
+
+	// HTTPClient defaults to a client with no overall timeout (waits
+	// and event streams are long-lived; use contexts to bound calls).
+	HTTPClient *http.Client
+
+	// MaxRetries bounds transparent retries of 429 queue_full
+	// responses. 0 disables retrying; the 429 surfaces as *APIError.
+	MaxRetries int
+
+	// RetryBackoff is the first retry delay when the server sends no
+	// Retry-After hint; it doubles per attempt, capped at 2s.
+	RetryBackoff time.Duration
+}
+
+// New returns a client for the daemon at baseURL with modest default
+// backpressure handling (4 retries, 100ms initial backoff).
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:      strings.TrimRight(baseURL, "/"),
+		HTTPClient:   &http.Client{},
+		MaxRetries:   4,
+		RetryBackoff: 100 * time.Millisecond,
+	}
+}
+
+// APIError is a non-2xx response decoded from the v1 error envelope.
+// Branch on Code — the stable machine-readable identifier — never on
+// the human-readable message.
+type APIError struct {
+	StatusCode int    // HTTP status
+	Code       string // invalid_spec, queue_full, not_found, ...
+	Message    string
+	Detail     string
+	RetryAfter time.Duration // parsed Retry-After hint, 0 if absent
+}
+
+func (e *APIError) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("movrd: %s (%s): %s", e.Message, e.Code, e.Detail)
+	}
+	return fmt.Sprintf("movrd: %s (%s)", e.Message, e.Code)
+}
+
+// IsCode reports whether err is an *APIError with the given code.
+func IsCode(err error, code string) bool {
+	e, ok := err.(*APIError)
+	return ok && e.Code == code
+}
+
+// Job mirrors the server's job-status document. Result is the raw
+// result JSON, byte-identical across fresh runs, cache hits, and
+// coalesced followers of the same spec.
+type Job struct {
+	ID            string          `json:"id"`
+	State         string          `json:"state"` // queued|running|done|failed|canceled
+	Cached        bool            `json:"cached"`
+	CoalescedWith string          `json:"coalesced_with,omitempty"`
+	SpecSHA       string          `json:"spec_sha256"`
+	Spec          json.RawMessage `json:"spec"`
+	Error         string          `json:"error,omitempty"`
+	ElapsedMS     int64           `json:"elapsed_ms,omitempty"`
+	Result        json.RawMessage `json:"result,omitempty"`
+	ResultSHA     string          `json:"result_sha256,omitempty"`
+
+	// CacheDisposition echoes the submit response's X-Movr-Cache
+	// header ("hit", "coalesced", "miss"); empty on non-submit reads.
+	CacheDisposition string `json:"-"`
+}
+
+// Terminal reports whether the job has finished (done, failed, or
+// canceled).
+func (j *Job) Terminal() bool {
+	switch j.State {
+	case "done", "failed", "canceled":
+		return true
+	}
+	return false
+}
+
+// Event is one entry of a job's progress stream.
+type Event struct {
+	Seq           int     `json:"seq"`
+	Type          string  `json:"type"` // queued|coalesced|running|session|done|failed|canceled
+	Session       string  `json:"session,omitempty"`
+	Done          int     `json:"done,omitempty"`
+	Total         int     `json:"total,omitempty"`
+	DeliveredFrac float64 `json:"delivered_frac,omitempty"`
+	Primary       string  `json:"primary,omitempty"`
+	Cached        bool    `json:"cached,omitempty"`
+	Error         string  `json:"error,omitempty"`
+}
+
+// Submit posts a job spec and returns the accepted job without waiting
+// for completion. spec is any JSON-marshalable value — typically a
+// map or a struct mirroring the movrd spec schema.
+func (c *Client) Submit(ctx context.Context, spec any) (*Job, error) {
+	return c.submit(ctx, spec, false)
+}
+
+// SubmitWait posts a job spec and blocks until the job is terminal,
+// returning the finished job with its result.
+func (c *Client) SubmitWait(ctx context.Context, spec any) (*Job, error) {
+	return c.submit(ctx, spec, true)
+}
+
+func (c *Client) submit(ctx context.Context, spec any, wait bool) (*Job, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("movrclient: marshal spec: %w", err)
+	}
+	u := c.BaseURL + "/v1/jobs"
+	if wait {
+		u += "?wait=1"
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.HTTPClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		job, err := decodeJob(resp)
+		if apiErr, ok := err.(*APIError); ok &&
+			apiErr.StatusCode == http.StatusTooManyRequests && attempt < c.MaxRetries {
+			delay := apiErr.RetryAfter
+			if delay <= 0 {
+				delay = backoff
+			}
+			backoff *= 2
+			if backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			select {
+			case <-time.After(delay):
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return job, err
+	}
+}
+
+// Get fetches the current status (and result, if terminal) of a job.
+func (c *Client) Get(ctx context.Context, id string) (*Job, error) {
+	return c.getJob(ctx, c.BaseURL+"/v1/jobs/"+url.PathEscape(id))
+}
+
+// Cancel requests cancellation and returns the job's state after the
+// request. Canceling a terminal job is a no-op.
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.BaseURL+"/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeJob(resp)
+}
+
+// Wait polls until the job is terminal. poll bounds the status-check
+// interval (default 50ms).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*Job, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		j, err := c.Get(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// ListOptions filter and page the job listing.
+type ListOptions struct {
+	State    string // queued|running|done|failed|canceled, "" for all
+	Scenario string // fleet scenario label or job kind, "" for all
+	Limit    int    // page size, 0 for the server default
+	Cursor   string // opaque next_cursor from the previous page
+}
+
+// ListPage is one page of the job listing.
+type ListPage struct {
+	Jobs       []Job  `json:"jobs"`
+	NextCursor string `json:"next_cursor"`
+}
+
+// List fetches one page of jobs. Pass page.NextCursor back via
+// ListOptions.Cursor to continue; an empty NextCursor means the listing
+// is exhausted.
+func (c *Client) List(ctx context.Context, opts ListOptions) (*ListPage, error) {
+	q := url.Values{}
+	if opts.State != "" {
+		q.Set("state", opts.State)
+	}
+	if opts.Scenario != "" {
+		q.Set("scenario", opts.Scenario)
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.Cursor != "" {
+		q.Set("cursor", opts.Cursor)
+	}
+	u := c.BaseURL + "/v1/jobs"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var page ListPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return nil, fmt.Errorf("movrclient: decode listing: %w", err)
+	}
+	return &page, nil
+}
+
+// StreamEvents follows a job's progress stream, invoking fn for each
+// event in sequence order. It returns nil when the stream ends after
+// the job's terminal event, or fn's error if fn rejects an event.
+func (c *Client) StreamEvents(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return fmt.Errorf("movrclient: decode event: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Trace fetches a completed traced job's flight-data artifact (Chrome
+// trace-event JSON).
+func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+url.PathEscape(id)+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Metrics fetches the raw Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("movrclient: metrics status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func (c *Client) getJob(ctx context.Context, u string) (*Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeJob(resp)
+}
+
+func decodeJob(resp *http.Response) (*Job, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return nil, decodeError(resp)
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return nil, fmt.Errorf("movrclient: decode job: %w", err)
+	}
+	j.CacheDisposition = resp.Header.Get("X-Movr-Cache")
+	return &j, nil
+}
+
+// decodeError turns a non-2xx response into *APIError. A body that is
+// not a v1 envelope (e.g. a proxy in the path) still yields an APIError
+// with the status code and raw body as the message.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		apiErr.RetryAfter = time.Duration(secs) * time.Second
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+			Detail  string `json:"detail"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		apiErr.Code = env.Error.Code
+		apiErr.Message = env.Error.Message
+		apiErr.Detail = env.Error.Detail
+		return apiErr
+	}
+	apiErr.Code = "unknown"
+	apiErr.Message = strings.TrimSpace(string(body))
+	return apiErr
+}

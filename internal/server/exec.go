@@ -119,11 +119,27 @@ func executeFleet(ctx context.Context, f FleetJobSpec, runner *pool.Runner, onSe
 			specs = append(specs, sp)
 		}
 	}
+	// Sharding slices the expanded list, but streaming sketches are
+	// always sized from the FULL set — every shard of one job spec gets
+	// identical sketch ranges, the precondition for merging their
+	// states. The shard coordinates are part of the canonical hash, so
+	// each shard caches independently.
+	var col fleet.Collector
+	if f.Agg == aggStream {
+		col = fleet.StreamCollectorFor(specs)
+	}
+	if f.Shard != nil {
+		sh := fleet.Shard{Index: f.Shard.Index, Count: f.Shard.Count}
+		if err := sh.Validate(); err != nil {
+			return fleet.Result{}, "", nil, err
+		}
+		specs = sh.Slice(specs)
+	}
 	var recs []*obs.Recorder
 	if f.Trace {
 		recs = fleet.AttachTraceRecorders(specs, 0)
 	}
-	res, err := fleet.Run(ctx, specs, fleet.Config{Runner: runner, OnSession: onSession})
+	res, err := fleet.RunCollect(ctx, specs, fleet.Config{Runner: runner, OnSession: onSession}, col)
 	if err != nil {
 		return fleet.Result{}, "", nil, err
 	}
@@ -146,6 +162,9 @@ func executeFleet(ctx context.Context, f FleetJobSpec, runner *pool.Runner, onSe
 	}
 	if len(f.Variants) > 1 {
 		title += " [" + strings.Join(f.Variants, "+") + "]"
+	}
+	if f.Shard != nil {
+		title += fmt.Sprintf(" [shard %d/%d]", f.Shard.Index, f.Shard.Count)
 	}
 	return res, title, trace, nil
 }

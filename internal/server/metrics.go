@@ -21,6 +21,10 @@ type serverMetrics struct {
 	cacheHits   *metrics.Counter
 	cacheMisses *metrics.Counter
 
+	jobsCoalesced *metrics.Counter
+	storeHits     *metrics.Counter
+	storeErrors   *metrics.Counter
+
 	sessionsDone *metrics.Counter
 	jobLatency   *metrics.Histogram
 	queueWait    *metrics.Histogram
@@ -33,7 +37,7 @@ type serverMetrics struct {
 	traceDropped *metrics.Counter
 }
 
-func newServerMetrics(runner *pool.Runner, c *cache) *serverMetrics {
+func newServerMetrics(runner *pool.Runner, c *cache, st *store) *serverMetrics {
 	reg := metrics.NewRegistry()
 	m := &serverMetrics{
 		reg:           reg,
@@ -46,6 +50,9 @@ func newServerMetrics(runner *pool.Runner, c *cache) *serverMetrics {
 		jobsRunning:   reg.NewGauge("movrd_jobs_running", "Jobs currently executing."),
 		cacheHits:     reg.NewCounter("movrd_cache_hits_total", "Submissions served from the result cache."),
 		cacheMisses:   reg.NewCounter("movrd_cache_misses_total", "Submissions that had to run."),
+		jobsCoalesced: reg.NewCounter("movrd_jobs_coalesced_total", "Submissions folded onto an identical in-flight job instead of executing."),
+		storeHits:     reg.NewCounter("movrd_store_hits_total", "Cache lookups served from the durable on-disk store."),
+		storeErrors:   reg.NewCounter("movrd_store_errors_total", "Failed appends to the durable result store."),
 		sessionsDone:  reg.NewCounter("movrd_sessions_completed_total", "Fleet sessions completed across all jobs."),
 		jobLatency:    reg.NewHistogram("movrd_job_latency_seconds", "Wall-clock latency of executed jobs (cache hits excluded).", metrics.DefaultLatencyBuckets()),
 		queueWait:     reg.NewHistogram("movrd_job_queue_wait_seconds", "Time jobs spent queued between submission and execution start (cache hits excluded).", metrics.DefaultLatencyBuckets()),
@@ -58,6 +65,10 @@ func newServerMetrics(runner *pool.Runner, c *cache) *serverMetrics {
 	}
 	reg.NewGaugeFunc("movrd_cache_entries", "Entries in the result cache.",
 		func() float64 { return float64(c.Len()) })
+	if st != nil {
+		reg.NewGaugeFunc("movrd_store_entries", "Entries in the durable on-disk result store.",
+			func() float64 { return float64(st.Len()) })
+	}
 	reg.NewGaugeFunc("movrd_cache_hit_ratio", "Cache hits / submissions, 0 before any submission.",
 		func() float64 {
 			h, ms := float64(m.cacheHits.Value()), float64(m.cacheMisses.Value())

@@ -35,7 +35,7 @@ func (s State) Terminal() bool {
 // sends, one JSON object per event.
 type Event struct {
 	Seq  int    `json:"seq"`
-	Type string `json:"type"` // queued|running|session|done|failed|canceled
+	Type string `json:"type"` // queued|coalesced|running|session|done|failed|canceled
 
 	// Session events: which session finished and how far along the job
 	// is.
@@ -43,6 +43,10 @@ type Event struct {
 	Done          int     `json:"done,omitempty"`
 	Total         int     `json:"total,omitempty"`
 	DeliveredFrac float64 `json:"delivered_frac,omitempty"`
+
+	// Coalesced events: the in-flight primary job this submission was
+	// folded into.
+	Primary string `json:"primary,omitempty"`
 
 	// Terminal events.
 	Cached bool   `json:"cached,omitempty"`
@@ -70,6 +74,7 @@ type Job struct {
 	resultSHA string // hex SHA-256 of result, computed once when set
 	trace     *TraceArtifact
 	cached    bool
+	coalesced string // ID of the in-flight primary this job was folded into
 	created   time.Time
 	started   time.Time
 	finished  time.Time
@@ -100,6 +105,15 @@ func (j *Job) Result() ([]byte, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result, j.cached
+}
+
+// Coalesced returns the ID of the in-flight primary job this
+// submission was folded into ("" for jobs that executed themselves or
+// were served from the cache).
+func (j *Job) Coalesced() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.coalesced
 }
 
 // Trace returns the job's recorded trace artifact (nil unless the job
@@ -168,6 +182,13 @@ type Options struct {
 	// RetainJobs bounds the finished-job records kept for GET
 	// (default 1024; oldest terminal records are dropped first).
 	RetainJobs int
+
+	// CacheDir, when non-empty, backs the result cache with an
+	// append-only on-disk store (<CacheDir>/results.log): every
+	// completed result is fsync'd to it, and a restarted daemon serves
+	// persisted entries without re-executing. Empty keeps the cache
+	// memory-only.
+	CacheDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -194,28 +215,40 @@ type Scheduler struct {
 	opts   Options
 	runner *pool.Runner
 	cache  *cache
+	store  *store // durable cache tier; nil without Options.CacheDir
 	met    *serverMetrics
 
 	queue    chan *Job
 	baseCtx  context.Context
 	shutdown context.CancelFunc
 	wg       sync.WaitGroup
+	followWG sync.WaitGroup // coalesced-follower watchers
 
 	// execFn runs a job spec; the default is execute. Tests substitute
 	// blocking or failing executors to probe scheduling behaviour
 	// without timing games. Written only before the first Submit.
 	execFn func(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession func(done, total int, o fleet.SessionOutcome)) ([]byte, *TraceArtifact, error)
 
-	mu     sync.Mutex
-	closed bool
-	jobs   map[string]*Job
-	order  []string // creation order, for retention pruning
-	nextID int
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job
+	order    []string // creation order, for retention pruning
+	inflight map[string]*Job
+	nextID   int
 }
 
-// NewScheduler builds the scheduler and starts its executors.
-func NewScheduler(opts Options) *Scheduler {
+// NewScheduler builds the scheduler and starts its executors. With
+// Options.CacheDir it also opens (compacting) the durable result store;
+// an unusable cache directory is the only error.
+func NewScheduler(opts Options) (*Scheduler, error) {
 	opts = opts.withDefaults()
+	var st *store
+	if opts.CacheDir != "" {
+		var err error
+		if st, err = openStore(opts.CacheDir); err != nil {
+			return nil, err
+		}
+	}
 	runner := pool.NewRunner(opts.Workers)
 	c := newCache(opts.CacheEntries)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -223,18 +256,48 @@ func NewScheduler(opts Options) *Scheduler {
 		opts:     opts,
 		runner:   runner,
 		cache:    c,
-		met:      newServerMetrics(runner, c),
+		store:    st,
+		met:      newServerMetrics(runner, c, st),
 		queue:    make(chan *Job, opts.QueueDepth),
 		baseCtx:  ctx,
 		shutdown: cancel,
 		execFn:   execute,
 		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
 	}
 	for i := 0; i < opts.MaxJobs; i++ {
 		s.wg.Add(1)
 		go s.executor()
 	}
-	return s
+	return s, nil
+}
+
+// cacheGet checks the memory tier, then the durable store (promoting a
+// disk hit into memory so repeats stay off the disk).
+func (s *Scheduler) cacheGet(hash string) ([]byte, bool) {
+	if res, ok := s.cache.Get(hash); ok {
+		return res, true
+	}
+	if s.store != nil {
+		if res, ok := s.store.Get(hash); ok {
+			s.cache.Put(hash, res)
+			s.met.storeHits.Inc()
+			return res, true
+		}
+	}
+	return nil, false
+}
+
+// cachePut stores a completed result in both tiers. A store append
+// failure (disk full, yanked volume) degrades durability, not service:
+// it is counted and the in-memory entry still serves.
+func (s *Scheduler) cachePut(hash string, res []byte) {
+	s.cache.Put(hash, res)
+	if s.store != nil {
+		if err := s.store.Put(hash, res); err != nil {
+			s.met.storeErrors.Inc()
+		}
+	}
 }
 
 // Metrics exposes the registry (for the /metrics handler and tests).
@@ -266,14 +329,21 @@ func (s *Scheduler) Close() {
 	// handler blocked on them. Nothing can enqueue any more (Submit
 	// checks closed under s.mu before the enqueue), so draining here is
 	// complete.
+drain:
 	for {
 		select {
 		case j := <-s.queue:
 			s.met.jobsQueued.Add(-1)
 			s.finishCanceled(j, "scheduler shut down")
 		default:
-			return
+			break drain
 		}
+	}
+	// Every primary is now terminal, so the follower watchers all wake
+	// and finish; no new ones can start once closed is set.
+	s.followWG.Wait()
+	if s.store != nil {
+		_ = s.store.Close()
 	}
 }
 
@@ -294,8 +364,21 @@ func (s *Scheduler) finishCanceled(j *Job, msg string) bool {
 	j.mu.Unlock()
 	j.cancel()
 	close(j.done)
+	s.clearInflight(j)
 	s.met.jobsCanceled.Inc()
 	return true
+}
+
+// clearInflight drops the job's coalescing registration, if it is the
+// current primary for its hash. New identical submissions will then
+// hit the cache (the primary's result lands there before this runs) or
+// execute afresh.
+func (s *Scheduler) clearInflight(j *Job) {
+	s.mu.Lock()
+	if s.inflight[j.Hash] == j {
+		delete(s.inflight, j.Hash)
+	}
+	s.mu.Unlock()
 }
 
 // newJob allocates a job record and registers it. The closed check
@@ -309,6 +392,14 @@ func (s *Scheduler) newJob(spec JobSpec, hash string) (*Job, error) {
 		cancel()
 		return nil, ErrShuttingDown
 	}
+	j := s.newJobLocked(spec, hash, ctx, cancel)
+	s.mu.Unlock()
+	return j, nil
+}
+
+// newJobLocked is newJob's registration core; the caller holds s.mu and
+// has already rejected a closed scheduler.
+func (s *Scheduler) newJobLocked(spec JobSpec, hash string, ctx context.Context, cancel context.CancelFunc) *Job {
 	s.nextID++
 	j := &Job{
 		ID:      fmt.Sprintf("job-%d", s.nextID),
@@ -325,8 +416,7 @@ func (s *Scheduler) newJob(spec JobSpec, hash string) (*Job, error) {
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.pruneLocked()
-	s.mu.Unlock()
-	return j, nil
+	return j
 }
 
 // pruneLocked drops the oldest terminal job records beyond the
@@ -368,11 +458,14 @@ func (s *Scheduler) removeLocked(id string) {
 	}
 }
 
-// Submit validates and normalizes spec, then either serves it from the
-// result cache (the job is born done, with the exact bytes a fresh run
-// would produce) or enqueues it. A full queue returns ErrQueueFull —
-// the API layer's 429. Only admitted submissions count toward the
-// submission and cache metrics; rejections count separately.
+// Submit validates and normalizes spec, then serves it the cheapest
+// correct way: from the result cache (the job is born done, with the
+// exact bytes a fresh run would produce), by coalescing onto an
+// identical in-flight job (the follower subscribes to the primary's
+// outcome and never enqueues), or by enqueueing it. A full queue
+// returns ErrQueueFull — the API layer's 429. Only admitted submissions
+// count toward the submission and cache metrics; rejections count
+// separately.
 func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	norm, err := spec.Normalize()
 	if err != nil {
@@ -383,12 +476,11 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		return nil, err
 	}
 
-	// Traced jobs bypass the cache entirely: the cache stores only
-	// result bytes, and a cache hit would silently lose the trace the
-	// caller asked for.
+	// Traced jobs bypass the cache and coalescing entirely: both return
+	// result bytes only, silently losing the trace the caller asked for.
 	traced := norm.Fleet != nil && norm.Fleet.Trace
 	if !traced {
-		if res, ok := s.cache.Get(hash); ok {
+		if res, ok := s.cacheGet(hash); ok {
 			j, err := s.newJob(norm, hash)
 			if err != nil {
 				return nil, err
@@ -412,23 +504,40 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		}
 	}
 
-	j, err := s.newJob(norm, hash)
-	if err != nil {
-		return nil, err
-	}
-	// The closed re-check and the enqueue share one critical section:
-	// once Close has set closed, nothing can slip into the queue behind
-	// its drain (newJob's check alone leaves a window between its unlock
-	// and the enqueue).
+	// Admission: one critical section covers the closed check, the
+	// coalescing lookup, the registration, and the enqueue — so a
+	// concurrent identical submission cannot slip between lookup and
+	// registration (becoming a second primary), and nothing can enqueue
+	// behind Close's drain.
+	ctx, cancel := context.WithCancel(s.baseCtx)
 	s.mu.Lock()
 	if s.closed {
-		s.removeLocked(j.ID)
 		s.mu.Unlock()
-		j.cancel()
+		cancel()
 		return nil, ErrShuttingDown
 	}
+	if !traced {
+		if primary, ok := s.inflight[hash]; ok {
+			j := s.newJobLocked(norm, hash, ctx, cancel)
+			j.mu.Lock()
+			j.coalesced = primary.ID
+			j.appendEventLocked(Event{Type: "coalesced", Primary: primary.ID})
+			j.mu.Unlock()
+			s.followWG.Add(1) // inside s.mu: Close cannot Wait between the closed check and this Add
+			s.mu.Unlock()
+			s.met.jobsSubmitted.Inc()
+			s.met.jobsByScenario.Inc(scenarioLabel(norm))
+			s.met.jobsCoalesced.Inc()
+			go s.followPrimary(j, primary)
+			return j, nil
+		}
+	}
+	j := s.newJobLocked(norm, hash, ctx, cancel)
 	select {
 	case s.queue <- j:
+		if !traced {
+			s.inflight[hash] = j
+		}
 		s.mu.Unlock()
 		s.met.jobsSubmitted.Inc()
 		s.met.jobsByScenario.Inc(scenarioLabel(norm))
@@ -441,6 +550,57 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		j.cancel()
 		s.met.jobsRejected.Inc()
 		return nil, ErrQueueFull
+	}
+}
+
+// followPrimary mirrors the primary's terminal state onto a coalesced
+// follower once the primary finishes — all waiters on an identical
+// in-flight spec share one execution. A follower canceled before the
+// primary finishes detaches without affecting it.
+func (s *Scheduler) followPrimary(j, primary *Job) {
+	defer s.followWG.Done()
+	select {
+	case <-j.done: // follower canceled directly (finishCanceled closed it)
+		return
+	case <-primary.Done():
+	}
+	primary.mu.Lock()
+	state, errMsg := primary.state, primary.errMsg
+	result, resultSHA := primary.result, primary.resultSHA
+	primary.mu.Unlock()
+
+	j.mu.Lock()
+	if j.state != StateQueued { // lost the race to a direct cancel
+		j.mu.Unlock()
+		return
+	}
+	j.finished = time.Now()
+	switch state {
+	case StateDone:
+		j.state = StateDone
+		j.result = result
+		j.resultSHA = resultSHA
+		j.cached = true // computed by the primary, not this job
+		j.appendEventLocked(Event{Type: "done"})
+	case StateFailed:
+		j.state = StateFailed
+		j.errMsg = errMsg
+		j.appendEventLocked(Event{Type: "failed", Error: errMsg})
+	default:
+		j.state = StateCanceled
+		j.errMsg = "coalesced primary canceled"
+		j.appendEventLocked(Event{Type: "canceled"})
+	}
+	j.mu.Unlock()
+	j.cancel()
+	close(j.done)
+	switch j.State() {
+	case StateDone:
+		s.met.jobsDone.Inc()
+	case StateFailed:
+		s.met.jobsFailed.Inc()
+	default:
+		s.met.jobsCanceled.Inc()
 	}
 }
 
@@ -566,7 +726,7 @@ func (s *Scheduler) run(j *Job) {
 		// submission must re-run to produce its own trace (Submit
 		// bypasses Get for them symmetrically).
 		if trace == nil {
-			s.cache.Put(j.Hash, result)
+			s.cachePut(j.Hash, result)
 		} else {
 			s.met.tracedJobs.Inc()
 			s.met.traceEvents.Add(int64(trace.Events))
@@ -579,4 +739,8 @@ func (s *Scheduler) run(j *Job) {
 	default:
 		s.met.jobsFailed.Inc()
 	}
+	// Deregister from coalescing only after the result is cached: an
+	// identical submission always either coalesces (before this) or
+	// cache-hits (after) — never re-executes a completed spec.
+	s.clearInflight(j)
 }

@@ -11,6 +11,17 @@ import (
 	"github.com/movr-sim/movr/internal/fleet/pool"
 )
 
+// mustScheduler builds a scheduler or fails the test (the only error
+// source is an unusable cache directory).
+func mustScheduler(t *testing.T, opts Options) *Scheduler {
+	t.Helper()
+	s, err := NewScheduler(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // blockingExec returns an execFn that blocks until release is closed
 // (or the job is cancelled), plus the release function.
 func blockingExec() (func(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession func(int, int, fleet.SessionOutcome)) ([]byte, *TraceArtifact, error), func()) {
@@ -42,7 +53,7 @@ func specN(seed int64) JobSpec {
 }
 
 func TestSchedulerQueueBackpressure(t *testing.T) {
-	s := NewScheduler(Options{Workers: 1, MaxJobs: 1, QueueDepth: 1})
+	s := mustScheduler(t, Options{Workers: 1, MaxJobs: 1, QueueDepth: 1})
 	defer s.Close()
 	fn, release := blockingExec()
 	s.execFn = fn
@@ -87,7 +98,7 @@ func TestSchedulerQueueBackpressure(t *testing.T) {
 }
 
 func TestSchedulerCancelQueuedAndRunning(t *testing.T) {
-	s := NewScheduler(Options{Workers: 1, MaxJobs: 1, QueueDepth: 2})
+	s := mustScheduler(t, Options{Workers: 1, MaxJobs: 1, QueueDepth: 2})
 	defer s.Close()
 	fn, release := blockingExec()
 	defer release()
@@ -133,7 +144,7 @@ func TestSchedulerCancelQueuedAndRunning(t *testing.T) {
 }
 
 func TestSchedulerCacheHitSkipsExecution(t *testing.T) {
-	s := NewScheduler(Options{Workers: 2})
+	s := mustScheduler(t, Options{Workers: 2})
 	defer s.Close()
 
 	j1, err := s.Submit(specN(7))
@@ -170,7 +181,7 @@ func TestSchedulerCacheHitSkipsExecution(t *testing.T) {
 }
 
 func TestSchedulerEventStream(t *testing.T) {
-	s := NewScheduler(Options{Workers: 2})
+	s := mustScheduler(t, Options{Workers: 2})
 	defer s.Close()
 	j, err := s.Submit(JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{
 		Scenario: "home", Sessions: 3, Seed: 5, DurationMS: 100,
@@ -216,7 +227,7 @@ func TestSchedulerEventStream(t *testing.T) {
 }
 
 func TestSchedulerRejectsInvalidSpec(t *testing.T) {
-	s := NewScheduler(Options{Workers: 1})
+	s := mustScheduler(t, Options{Workers: 1})
 	defer s.Close()
 	if _, err := s.Submit(JobSpec{Kind: "warp"}); err == nil {
 		t.Error("invalid spec accepted")
@@ -226,7 +237,7 @@ func TestSchedulerRejectsInvalidSpec(t *testing.T) {
 func TestSchedulerCloseTerminatesQueuedJobs(t *testing.T) {
 	// A waiter blocked on a queued job must be released by Close, or
 	// ?wait=1 handlers would wedge graceful shutdown.
-	s := NewScheduler(Options{Workers: 1, MaxJobs: 1, QueueDepth: 2})
+	s := mustScheduler(t, Options{Workers: 1, MaxJobs: 1, QueueDepth: 2})
 	fn, release := blockingExec()
 	defer release()
 	s.execFn = fn
@@ -268,7 +279,7 @@ func TestSchedulerCloseTerminatesQueuedJobs(t *testing.T) {
 }
 
 func TestSchedulerRejectionLeavesNoTrace(t *testing.T) {
-	s := NewScheduler(Options{Workers: 1, MaxJobs: 1, QueueDepth: 1})
+	s := mustScheduler(t, Options{Workers: 1, MaxJobs: 1, QueueDepth: 1})
 	defer s.Close()
 	fn, release := blockingExec()
 	defer release()
@@ -317,7 +328,7 @@ func TestSchedulerCancelWinsOverCompletedResult(t *testing.T) {
 	// An executor that ignores ctx and returns a result anyway: if the
 	// job was cancelled first, the terminal state must still be
 	// canceled, not done.
-	s := NewScheduler(Options{Workers: 1, MaxJobs: 1})
+	s := mustScheduler(t, Options{Workers: 1, MaxJobs: 1})
 	defer s.Close()
 	release := make(chan struct{})
 	s.execFn = func(ctx context.Context, spec JobSpec, runner *pool.Runner, onSession func(int, int, fleet.SessionOutcome)) ([]byte, *TraceArtifact, error) {
@@ -348,7 +359,7 @@ func TestSchedulerCancelWinsOverCompletedResult(t *testing.T) {
 }
 
 func TestSchedulerShutdownRejectsSubmissions(t *testing.T) {
-	s := NewScheduler(Options{Workers: 1})
+	s := mustScheduler(t, Options{Workers: 1})
 	s.Close()
 	if _, err := s.Submit(specN(1)); !errors.Is(err, ErrShuttingDown) {
 		t.Errorf("err = %v, want ErrShuttingDown", err)

@@ -1,10 +1,13 @@
 package server
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -24,9 +27,14 @@ type Server struct {
 	mux   *http.ServeMux
 }
 
-// New builds a server (and its scheduler) from options.
-func New(opts Options) *Server {
-	s := &Server{sched: NewScheduler(opts), mux: http.NewServeMux()}
+// New builds a server (and its scheduler) from options. The only
+// error source is an unusable Options.CacheDir.
+func New(opts Options) (*Server, error) {
+	sched, err := NewScheduler(opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{sched: sched, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -35,7 +43,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
-	return s
+	return s, nil
 }
 
 // Scheduler exposes the underlying scheduler (tests, embedding).
@@ -54,9 +62,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // executor/cache, embedded verbatim — the field is byte-identical
 // across a fresh run and a cache hit of the same spec.
 type jobView struct {
-	ID         string    `json:"id"`
-	State      State     `json:"state"`
-	Cached     bool      `json:"cached"`
+	ID     string `json:"id"`
+	State  State  `json:"state"`
+	Cached bool   `json:"cached"`
+
+	// CoalescedWith names the in-flight primary job this submission was
+	// folded into (identical spec hash); empty for jobs that executed
+	// themselves.
+	CoalescedWith string `json:"coalesced_with,omitempty"`
+
 	SpecSHA256 string    `json:"spec_sha256"`
 	Spec       JobSpec   `json:"spec"`
 	Error      string    `json:"error,omitempty"`
@@ -82,13 +96,14 @@ func view(j *Job, withResult bool) jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := jobView{
-		ID:         j.ID,
-		State:      j.state,
-		Cached:     j.cached,
-		SpecSHA256: j.Hash,
-		Spec:       j.Spec,
-		Error:      j.errMsg,
-		CreatedAt:  j.created,
+		ID:            j.ID,
+		State:         j.state,
+		Cached:        j.cached,
+		CoalescedWith: j.coalesced,
+		SpecSHA256:    j.Hash,
+		Spec:          j.Spec,
+		Error:         j.errMsg,
+		CreatedAt:     j.created,
 	}
 	if !j.started.IsZero() {
 		started := j.started
@@ -129,12 +144,52 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-type apiError struct {
-	Error string `json:"error"`
+// Stable machine-readable error codes of the v1 envelope. Every
+// non-2xx response carries exactly one of them; clients branch on the
+// code, never on the human-readable message.
+const (
+	// ErrCodeInvalidSpec rejects a malformed or out-of-bounds job spec
+	// (400).
+	ErrCodeInvalidSpec = "invalid_spec"
+
+	// ErrCodeInvalidArgument rejects a malformed query parameter —
+	// bad cursor, unknown state filter, out-of-range limit (400).
+	ErrCodeInvalidArgument = "invalid_argument"
+
+	// ErrCodeNotFound is an unknown job ID or missing sub-resource
+	// (404).
+	ErrCodeNotFound = "not_found"
+
+	// ErrCodeJobCanceled marks a sub-resource unavailable because the
+	// job was canceled before producing it (404).
+	ErrCodeJobCanceled = "job_canceled"
+
+	// ErrCodeQueueFull is backpressure: the job queue is at capacity;
+	// retry after the Retry-After delay (429).
+	ErrCodeQueueFull = "queue_full"
+
+	// ErrCodeShuttingDown rejects work during daemon shutdown (503).
+	ErrCodeShuttingDown = "shutting_down"
+)
+
+// APIError is the one JSON shape of every non-2xx response:
+//
+//	{"error": {"code": "...", "message": "...", "detail": "..."}}
+//
+// Code is stable and machine-readable; Message is a short human
+// phrase; Detail carries request-specific context and may be empty.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Detail  string `json:"detail,omitempty"`
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+type apiErrorEnvelope struct {
+	Error APIError `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, message, detail string) {
+	writeJSON(w, status, apiErrorEnvelope{Error: APIError{Code: code, Message: message, Detail: detail}})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -147,36 +202,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSubmit accepts a JobSpec. The response carries an X-Movr-Cache
-// header ("hit" or "miss"). Without ?wait the answer is 202 Accepted
-// with the queued job (or 200 with the finished job on a cache hit);
-// with ?wait=1 the handler blocks until the job is terminal and always
-// answers 200 — unless the client goes away first.
+// header ("hit", "coalesced" or "miss"). Without ?wait the answer is
+// 202 Accepted with the queued job (or 200 with the finished job on a
+// cache hit); with ?wait=1 the handler blocks until the job is terminal
+// and always answers 200 — unless the client goes away first.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "decode spec: %v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidSpec, "malformed job spec", err.Error())
 		return
 	}
 	job, err := s.sched.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		writeError(w, http.StatusTooManyRequests, ErrCodeQueueFull, "job queue full", "retry after the Retry-After delay")
 		return
 	case errors.Is(err, ErrShuttingDown):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, http.StatusServiceUnavailable, ErrCodeShuttingDown, "server shutting down", "")
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidSpec, "invalid job spec", err.Error())
 		return
 	}
 
 	_, cached := job.Result()
 	cacheHeader := "miss"
-	if cached {
+	switch {
+	case cached:
 		cacheHeader = "hit"
+	case job.Coalesced() != "":
+		cacheHeader = "coalesced"
 	}
 	w.Header().Set("X-Movr-Cache", cacheHeader)
 
@@ -198,20 +256,111 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, view(job, true))
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	jobs := s.sched.Jobs()
-	views := make([]jobView, len(jobs))
-	for i, j := range jobs {
-		views[i] = view(j, false)
+// List defaults and bounds.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+	listCursorPrefix = "jobs.v1."
+)
+
+// encodeListCursor builds the opaque pagination cursor: resume strictly
+// after the job with this numeric ID. Opaque (base64) so clients cannot
+// grow a dependency on its contents.
+func encodeListCursor(lastID int) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(fmt.Sprintf("%s%d", listCursorPrefix, lastID)))
+}
+
+func decodeListCursor(cursor string) (int, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(cursor)
+	if err != nil {
+		return 0, fmt.Errorf("not a cursor from this API")
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+	rest, ok := strings.CutPrefix(string(raw), listCursorPrefix)
+	if !ok {
+		return 0, fmt.Errorf("not a cursor from this API")
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil || id < 0 {
+		return 0, fmt.Errorf("not a cursor from this API")
+	}
+	return id, nil
+}
+
+// jobNumericID extracts N from "job-N" (0 if malformed — sorts first).
+func jobNumericID(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	return n
+}
+
+// handleList serves GET /v1/jobs?state=&scenario=&limit=&cursor=: the
+// retained jobs in deterministic creation order (ascending job ID),
+// optionally filtered by lifecycle state and scenario label, paginated
+// by an opaque cursor. The page carries next_cursor while more filtered
+// jobs remain.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+
+	limit := defaultListLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > maxListLimit {
+			writeError(w, http.StatusBadRequest, ErrCodeInvalidArgument,
+				"invalid limit", fmt.Sprintf("limit must be an integer in [1,%d], got %q", maxListLimit, v))
+			return
+		}
+		limit = n
+	}
+	stateFilter := q.Get("state")
+	switch State(stateFilter) {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+	default:
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidArgument,
+			"invalid state filter", fmt.Sprintf("unknown state %q (queued|running|done|failed|canceled)", stateFilter))
+		return
+	}
+	scenarioFilter := q.Get("scenario")
+	after := 0
+	if v := q.Get("cursor"); v != "" {
+		id, err := decodeListCursor(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ErrCodeInvalidArgument, "invalid cursor", err.Error())
+			return
+		}
+		after = id
+	}
+
+	views := make([]jobView, 0, limit)
+	nextCursor := ""
+	for _, j := range s.sched.Jobs() { // creation order = ascending ID
+		if jobNumericID(j.ID) <= after {
+			continue
+		}
+		v := view(j, false)
+		if stateFilter != "" && v.State != State(stateFilter) {
+			continue
+		}
+		if scenarioFilter != "" && scenarioLabel(v.Spec) != scenarioFilter {
+			continue
+		}
+		if len(views) == limit {
+			// One filtered job beyond the page ⇒ there is a next page.
+			nextCursor = encodeListCursor(jobNumericID(views[len(views)-1].ID))
+			break
+		}
+		views = append(views, v)
+	}
+	resp := map[string]any{"jobs": views}
+	if nextCursor != "" {
+		resp["next_cursor"] = nextCursor
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	id := r.PathValue("id")
 	j, ok := s.sched.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "unknown job", fmt.Sprintf("no job %q among the retained records", id))
 		return nil, false
 	}
 	return j, true
@@ -245,8 +394,12 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	tr := j.Trace()
 	if tr == nil {
-		writeError(w, http.StatusNotFound,
-			"job %s has no trace (submit a fleet spec with trace:true and wait for it to finish)", j.ID)
+		code := ErrCodeNotFound
+		if j.State() == StateCanceled {
+			code = ErrCodeJobCanceled
+		}
+		writeError(w, http.StatusNotFound, code, "no trace for this job",
+			fmt.Sprintf("job %s has no trace (submit a fleet spec with trace:true and wait for it to finish)", j.ID))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

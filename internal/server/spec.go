@@ -41,16 +41,42 @@ const (
 	defaultReEvalMS   = 50
 )
 
+// specVersion is the job-API spec version this server speaks.
+const specVersion = 1
+
+// Aggregation modes of a fleet job.
+const (
+	aggExact  = "exact"
+	aggStream = "stream"
+)
+
 // JobSpec is the wire format of POST /v1/jobs: a kind plus the matching
 // sub-spec. Exactly one sub-spec may be set, and it must match Kind
 // (a nil sub-spec of the right kind means "all defaults").
 type JobSpec struct {
+	// V is the spec version; 0 and 1 both mean v1 (the only version),
+	// and normalize to the omitted field — so every spec hash from
+	// before the version field stays unchanged. Unknown versions are
+	// rejected as invalid.
+	V int `json:"v,omitempty"`
+
 	// Kind selects the experiment: "fleet", "fig9" or "map".
 	Kind string `json:"kind"`
 
 	Fleet *FleetJobSpec `json:"fleet,omitempty"`
 	Fig9  *Fig9JobSpec  `json:"fig9,omitempty"`
 	Map   *MapJobSpec   `json:"map,omitempty"`
+}
+
+// ShardSpec selects one contiguous session-range shard of a fleet job:
+// the expanded session list is split into Count equal(±1) contiguous
+// ranges and only range Index runs. The shard coordinates participate
+// in the canonical hash — each shard is its own cacheable job — and
+// shard 0/1 (the whole job) normalizes to the omitted field, so
+// unsharded specs keep their pre-shard hashes.
+type ShardSpec struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
 }
 
 // FleetJobSpec parameterizes a multi-session fleet run.
@@ -99,6 +125,19 @@ type FleetJobSpec struct {
 	// result bytes. False is omitted from the canonical encoding, so
 	// pre-trace specs keep their hashes.
 	Trace bool `json:"trace,omitempty"`
+
+	// Agg selects the aggregation path: "exact" (default — every
+	// per-session outcome retained in the result) or "stream"
+	// (constant-memory mergeable sketches; the result carries the
+	// aggregate plus sketch state and no per-session list). Exact is
+	// canonically spelled as the omitted field, so pre-streaming specs
+	// keep their hashes.
+	Agg string `json:"agg,omitempty"`
+
+	// Shard, when set, runs only one contiguous session-range shard of
+	// the job (see ShardSpec). Shard count may not exceed Sessions, so
+	// every shard is non-empty.
+	Shard *ShardSpec `json:"shard,omitempty"`
 }
 
 // Fig9JobSpec parameterizes the §5.2 SNR-improvement study.
@@ -137,6 +176,9 @@ var variantNames = map[string]experiments.SessionVariant{
 // the same value — the property the canonical Hash (and therefore the
 // result cache) keys on.
 func (s JobSpec) Normalize() (JobSpec, error) {
+	if s.V != 0 && s.V != specVersion {
+		return JobSpec{}, fmt.Errorf("spec: unknown spec version %d (this server speaks v%d)", s.V, specVersion)
+	}
 	set := 0
 	for _, sub := range []bool{s.Fleet != nil, s.Fig9 != nil, s.Map != nil} {
 		if sub {
@@ -292,6 +334,33 @@ func (f FleetJobSpec) normalize() (FleetJobSpec, error) {
 	if total := f.Sessions * len(f.Variants); total > maxFleetSessions {
 		return FleetJobSpec{}, fmt.Errorf("spec: sessions %d × %d variants = %d exceeds the limit of %d",
 			f.Sessions, len(f.Variants), total, maxFleetSessions)
+	}
+	switch f.Agg {
+	case "", aggExact:
+		// Exact is the default and canonically spelled as the omitted
+		// field, so pre-streaming specs keep their hashes.
+		f.Agg = ""
+	case aggStream:
+	default:
+		return FleetJobSpec{}, fmt.Errorf("spec: unknown agg %q (exact|stream)", f.Agg)
+	}
+	if f.Shard != nil {
+		sh := *f.Shard
+		switch {
+		case sh == ShardSpec{} || sh == ShardSpec{Index: 0, Count: 1}:
+			// The whole job is canonically spelled as the omitted field,
+			// so unsharded specs keep their pre-shard hashes.
+			f.Shard = nil
+		case sh.Count < 1:
+			return FleetJobSpec{}, fmt.Errorf("spec: shard count %d must be at least 1", sh.Count)
+		case sh.Index < 0 || sh.Index >= sh.Count:
+			return FleetJobSpec{}, fmt.Errorf("spec: shard index %d outside [0,%d)", sh.Index, sh.Count)
+		case sh.Count > f.Sessions:
+			return FleetJobSpec{}, fmt.Errorf("spec: shard count %d exceeds sessions %d", sh.Count, f.Sessions)
+		default:
+			// Copy so the normalized spec never aliases the caller's.
+			f.Shard = &sh
+		}
 	}
 	return f, nil
 }

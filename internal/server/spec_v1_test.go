@@ -1,0 +1,134 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpecVersionFoldsAway pins the v1 versioning contract: v omitted
+// and v:1 are the same spec (bit-identical canonical hash, so every
+// pre-version pinned hash and cache entry stays valid), and any other
+// version is rejected.
+func TestSpecVersionFoldsAway(t *testing.T) {
+	base := JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "home", Sessions: 4, Seed: 3}}
+	v1 := base
+	v1.V = 1
+	h0, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := v1.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 != h1 {
+		t.Fatalf("v:1 changed the canonical hash: %s vs %s", h1, h0)
+	}
+	norm, err := v1.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.V != 0 {
+		t.Fatalf("normalized V = %d, want 0 (folded away)", norm.V)
+	}
+	v2 := base
+	v2.V = 2
+	if _, err := v2.Hash(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("v:2 not rejected as an unknown version: %v", err)
+	}
+}
+
+// TestAggModeHashing pins the aggregation field's hash behavior: the
+// exact default folds away (pre-streaming hashes unchanged), streaming
+// is a distinct cacheable spec, and unknown modes are invalid.
+func TestAggModeHashing(t *testing.T) {
+	base := JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "mixed", Sessions: 4, Seed: 9}}
+	exact := base
+	exact.Fleet = &FleetJobSpec{Scenario: "mixed", Sessions: 4, Seed: 9, Agg: "exact"}
+	h0, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hExact, err := exact.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 != hExact {
+		t.Fatalf(`agg "exact" changed the canonical hash`)
+	}
+	streamSpec := base
+	streamSpec.Fleet = &FleetJobSpec{Scenario: "mixed", Sessions: 4, Seed: 9, Agg: "stream"}
+	hStream, err := streamSpec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hStream == h0 {
+		t.Fatal("streaming spec hashes equal to the exact spec — the cache would serve the wrong result shape")
+	}
+	bad := base
+	bad.Fleet = &FleetJobSpec{Scenario: "mixed", Sessions: 4, Seed: 9, Agg: "approx"}
+	if _, err := bad.Hash(); err == nil {
+		t.Fatal("unknown agg mode accepted")
+	}
+}
+
+// TestShardSpecHashing pins the shard field's hash behavior: shard 0/1
+// (and the zero value) fold away so unsharded specs keep their hashes,
+// distinct shards of one job hash distinctly, and out-of-range
+// coordinates are invalid.
+func TestShardSpecHashing(t *testing.T) {
+	mk := func(sh *ShardSpec) JobSpec {
+		return JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "home", Sessions: 8, Seed: 5, Shard: sh}}
+	}
+	h0, err := mk(nil).Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range []*ShardSpec{{}, {Index: 0, Count: 1}} {
+		h, err := mk(sh).Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != h0 {
+			t.Fatalf("shard %+v changed the canonical hash", *sh)
+		}
+	}
+	norm, err := mk(&ShardSpec{Index: 0, Count: 1}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Fleet.Shard != nil {
+		t.Fatal("shard 0/1 did not fold away in the normalized spec")
+	}
+	seen := map[string]bool{h0: true}
+	for i := 0; i < 4; i++ {
+		h, err := mk(&ShardSpec{Index: i, Count: 4}).Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[h] {
+			t.Fatalf("shard %d/4 hash collides with another spec", i)
+		}
+		seen[h] = true
+	}
+	for _, sh := range []ShardSpec{
+		{Index: 0, Count: -1},
+		{Index: 4, Count: 4},
+		{Index: -1, Count: 4},
+		{Index: 0, Count: 9}, // count > sessions
+	} {
+		sh := sh
+		if _, err := mk(&sh).Hash(); err == nil {
+			t.Fatalf("invalid shard %+v accepted", sh)
+		}
+	}
+	// Normalization must not alias the caller's ShardSpec.
+	in := &ShardSpec{Index: 1, Count: 4}
+	norm, err = mk(in).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Fleet.Shard == in {
+		t.Fatal("normalized spec aliases the caller's ShardSpec")
+	}
+}

@@ -190,6 +190,20 @@ type (
 	// (mixed|arcade|home|dense|coex|coexpf|coexedf) — the shared
 	// vocabulary of the movrsim -scenario flag and the movrd job API.
 	FleetScenarioKind = fleet.Kind
+
+	// FleetCollector folds session outcomes as they complete; exact
+	// and streaming implementations plug into RunFleetCollect.
+	FleetCollector = fleet.Collector
+
+	// FleetStreamState is the constant-memory mergeable aggregation
+	// state a streaming fleet run carries instead of per-session
+	// outcomes.
+	FleetStreamState = fleet.StreamState
+
+	// FleetShard selects one contiguous session range of a fleet
+	// (shard Index of Count); shard results merge deterministically
+	// with MergeFleetShardResults.
+	FleetShard = fleet.Shard
 )
 
 // Construction helpers.
@@ -376,6 +390,22 @@ var (
 
 // Fleet engine: multi-session simulation at scale.
 var (
+	// RunFleetCollect runs a fleet through an explicit collector: pass
+	// NewFleetStreamCollector's result for constant-memory streaming
+	// aggregation, or nil for the exact path RunFleet uses.
+	RunFleetCollect = fleet.RunCollect
+
+	// NewFleetStreamCollector builds the streaming collector sized for
+	// a spec set; always size it from the full pre-shard set so shard
+	// states stay mergeable.
+	NewFleetStreamCollector = fleet.StreamCollectorFor
+
+	// MergeFleetShardResults merges per-shard fleet results back into
+	// the whole-fleet aggregate: exact-path merges reproduce the
+	// unsharded run bit-identically, sketch merges are identical
+	// across merge orders.
+	MergeFleetShardResults = fleet.MergeShardResults
+
 	// RunFleet simulates every spec across a bounded worker pool and
 	// aggregates per-session reports into fleet statistics. The same
 	// specs produce byte-identical results for any worker count.

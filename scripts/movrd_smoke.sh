@@ -102,6 +102,34 @@ code="$(curl -s -o "$workdir/trace.json" -w '%{http_code}' "http://$addr/v1/jobs
 grep -q '"traceEvents"' "$workdir/trace.json" || fail "trace body is not Chrome trace-event JSON"
 echo "movrd-smoke: trace endpoint serves Chrome trace JSON"
 
+# Error envelope: every non-2xx answer is {"error":{code,message,detail}}
+# with a stable machine-readable code.
+code="$(curl -s -o "$workdir/e400" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' -d '{"kind":"nonsense"}' \
+    "http://$addr/v1/jobs")"
+[ "$code" = 400 ] || fail "bad spec returned $code, want 400"
+grep -q '"code": "invalid_spec"' "$workdir/e400" || fail "400 body lacks the invalid_spec envelope: $(cat "$workdir/e400")"
+code="$(curl -s -o "$workdir/e404" -w '%{http_code}' "http://$addr/v1/jobs/job-99999")"
+[ "$code" = 404 ] || fail "unknown job returned $code, want 404"
+grep -q '"code": "not_found"' "$workdir/e404" || fail "404 body lacks the not_found envelope: $(cat "$workdir/e404")"
+code="$(curl -s -o "$workdir/e400c" -w '%{http_code}' "http://$addr/v1/jobs?cursor=garbage")"
+[ "$code" = 400 ] || fail "garbage cursor returned $code, want 400"
+grep -q '"code": "invalid_argument"' "$workdir/e400c" || fail "cursor 400 lacks the invalid_argument envelope"
+echo "movrd-smoke: error envelope carries stable codes on 400/404"
+
+# Listing: filters and pagination. Three jobs exist (2 home, 1 coex).
+curl -s "http://$addr/v1/jobs?scenario=home" >"$workdir/list_home"
+n="$(grep -c '"id": "job-' "$workdir/list_home" || true)"
+[ "$n" = 2 ] || fail "scenario=home listed $n jobs, want 2"
+curl -s "http://$addr/v1/jobs?state=done&limit=2" >"$workdir/list_p1"
+grep -q '"next_cursor"' "$workdir/list_p1" || fail "first page of 3 done jobs lacks next_cursor"
+cursor="$(sed -n 's/.*"next_cursor": "\([A-Za-z0-9_-]*\)".*/\1/p' "$workdir/list_p1" | head -n 1)"
+curl -s "http://$addr/v1/jobs?state=done&limit=2&cursor=$cursor" >"$workdir/list_p2"
+n="$(grep -c '"id": "job-' "$workdir/list_p2" || true)"
+[ "$n" = 1 ] || fail "second page listed $n jobs, want 1"
+grep -q '"next_cursor"' "$workdir/list_p2" && fail "final page still carries next_cursor"
+echo "movrd-smoke: listing filters and cursor pagination ok"
+
 # Debug listener: pprof and expvar live on their own socket, never the
 # job API address.
 daddr="$(sed -n 's/.*movrd: debug listening on \([0-9.:]*\)$/\1/p' "$log" | head -n 1)"
