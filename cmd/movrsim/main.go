@@ -35,6 +35,16 @@
 //	              the coexpf/coexedf scenarios force pf/edf)
 //	-uplink D     pose-report uplink sub-slot reserved per player per scheduling
 //	              window, e.g. 200us (coex family, default 0 = off)
+//	-bays N       venue bay-grid size (venue scenario, default 4, max 64)
+//	-players-per-bay N
+//	              players per venue bay — alias of -players for the venue
+//	              quickstart (venue scenario, default 4)
+//	-channels N   venue channel budget for bay assignment (venue, default 3, max 4)
+//	-assign M     venue channel assignment: color|fixed (venue, default color)
+//	-interference-off
+//	              disable cross-bay interference (venue; A/B studies)
+//	-admission M  players beyond a bay's TDMA capacity: queue|reject (venue,
+//	              default queue)
 //	-agg M        fleet aggregation: exact (default; legacy output, per-session
 //	              outcomes in memory) or stream (constant-memory mergeable
 //	              sketches — percentiles within the sketch error bound)
@@ -77,6 +87,12 @@ func main() {
 	players := flag.Int("players", 0, "players sharing each coex bay's medium (coex scenarios; 0 = 4)")
 	coexPolicy := flag.String("coex-policy", "", "airtime policy for coex bays: "+movr.CoexPolicyNames()+" (coex scenarios; default rr)")
 	uplink := flag.Duration("uplink", 0, "pose-uplink sub-slot reserved per player per window (coex scenarios; 0 = off)")
+	bays := flag.Int("bays", 0, "venue bay-grid size (venue scenario; 0 = 4)")
+	playersPerBay := flag.Int("players-per-bay", 0, "players per venue bay (venue scenario; alias of -players; 0 = 4)")
+	channels := flag.Int("channels", 0, "venue channel budget for bay assignment (venue scenario; 0 = 3)")
+	assign := flag.String("assign", "", "venue channel assignment: "+movr.VenueAssignModeNames()+" (venue scenario; default color)")
+	interferenceOff := flag.Bool("interference-off", false, "disable cross-bay interference (venue scenario)")
+	admission := flag.String("admission", "", "players beyond a bay's TDMA capacity: queue|reject (venue scenario; default queue)")
 	tracePath := flag.String("trace", "", "write a per-session event trace (Perfetto-loadable Chrome JSON; use a .jsonl path for JSONL) — session and fleet only")
 	aggMode := flag.String("agg", "", `fleet aggregation: "exact" (default) or "stream"`)
 	shardSpec := flag.String("shard", "", "run only fleet shard I/N (e.g. 1/4) — fleet only")
@@ -102,6 +118,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "movrsim: %v\n\n", err)
 		usage()
 		os.Exit(2)
+	}
+	// -players-per-bay is the venue quickstart's spelling of -players;
+	// fold it in before the shared bounds checks.
+	if *playersPerBay != 0 {
+		switch {
+		case !movr.IsVenueFleetScenario(kind):
+			fmt.Fprintf(os.Stderr, "movrsim: -players-per-bay is only meaningful with the venue scenario\n\n")
+			usage()
+			os.Exit(2)
+		case *players != 0 && *players != *playersPerBay:
+			fmt.Fprintf(os.Stderr, "movrsim: -players %d conflicts with -players-per-bay %d\n\n", *players, *playersPerBay)
+			usage()
+			os.Exit(2)
+		}
+		*players = *playersPerBay
 	}
 	// -players mirrors the daemon's headsets_per_room validation: only
 	// meaningful for the coex scenario family, bounded the same way.
@@ -160,6 +191,58 @@ func main() {
 		}
 	}
 
+	// The venue knobs mirror the daemon's bays/channels/assign/admission
+	// validation.
+	if (*bays != 0 || *channels != 0 || *assign != "" || *interferenceOff || *admission != "") &&
+		!movr.IsVenueFleetScenario(kind) {
+		fmt.Fprintf(os.Stderr, "movrsim: -bays, -channels, -assign, -interference-off and -admission are only meaningful with the venue scenario\n\n")
+		usage()
+		os.Exit(2)
+	}
+	if *bays < 0 || *bays > movr.MaxVenueBays {
+		fmt.Fprintf(os.Stderr, "movrsim: -bays %d must be in [1,%d]\n\n", *bays, movr.MaxVenueBays)
+		usage()
+		os.Exit(2)
+	}
+	if *channels < 0 || *channels > movr.MaxVenueChannels {
+		fmt.Fprintf(os.Stderr, "movrsim: -channels %d must be in [1,%d]\n\n", *channels, movr.MaxVenueChannels)
+		usage()
+		os.Exit(2)
+	}
+	assignMode, err := movr.ParseVenueAssignMode(*assign)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "movrsim: -assign: %v\n\n", err)
+		usage()
+		os.Exit(2)
+	}
+	admitMode, err := movr.ParseVenueAdmission(*admission)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "movrsim: -admission: %v\n\n", err)
+		usage()
+		os.Exit(2)
+	}
+	// A venue's natural size is its whole bay grid: unless -sessions was
+	// given explicitly, size the fleet to bays × players-per-bay so
+	// `-scenario venue -bays 16 -players-per-bay 4` runs all 64 sessions.
+	if movr.IsVenueFleetScenario(kind) {
+		sessionsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "sessions" {
+				sessionsSet = true
+			}
+		})
+		if !sessionsSet {
+			effBays, effPPB := *bays, *players
+			if effBays <= 0 {
+				effBays = movr.DefaultVenueBays
+			}
+			if effPPB <= 0 {
+				effPPB = movr.DefaultCoexHeadsets
+			}
+			*sessions = effBays * effPPB
+		}
+	}
+
 	switch *aggMode {
 	case "", "exact", "stream":
 	default:
@@ -185,6 +268,13 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	vf := venueFlags{
+		bays:            *bays,
+		channels:        *channels,
+		assign:          assignMode,
+		interferenceOff: *interferenceOff,
+		admission:       admitMode,
+	}
 	start := time.Now()
 	switch cmd {
 	case "fig3":
@@ -208,7 +298,7 @@ func main() {
 	case "ablations":
 		runAblations(*seed)
 	case "fleet":
-		runFleet(*seed, *workers, *sessions, *players, policy, *uplink, kind, *fast, *tracePath, *aggMode, shard)
+		runFleet(*seed, *workers, *sessions, *players, policy, *uplink, kind, *fast, *tracePath, *aggMode, shard, vf)
 	case "bench":
 		runBench(*benchOut, *benchCompare, *benchTolPct, *benchAllocTol, *fast)
 	case "all":
@@ -232,7 +322,7 @@ func main() {
 		fmt.Println()
 		runAblations(*seed)
 		fmt.Println()
-		runFleet(*seed, *workers, *sessions, *players, policy, *uplink, kind, *fast, "", "", nil)
+		runFleet(*seed, *workers, *sessions, *players, policy, *uplink, kind, *fast, "", "", nil, vf)
 	default:
 		fmt.Fprintf(os.Stderr, "movrsim: unknown experiment %q\n\n", cmd)
 		usage()
@@ -367,13 +457,26 @@ func parseShard(s string, sessions int) (*movr.FleetShard, error) {
 	return &sh, nil
 }
 
-func runFleet(seed int64, workers, sessions, players int, policy movr.CoexPolicyName, uplink time.Duration, kind movr.FleetScenarioKind, fast bool, tracePath string, aggMode string, shard *movr.FleetShard) {
+// venueFlags bundles the venue scenario's CLI knobs for runFleet.
+type venueFlags struct {
+	bays, channels  int
+	assign          movr.VenueAssignMode
+	interferenceOff bool
+	admission       string
+}
+
+func runFleet(seed int64, workers, sessions, players int, policy movr.CoexPolicyName, uplink time.Duration, kind movr.FleetScenarioKind, fast bool, tracePath string, aggMode string, shard *movr.FleetShard, vf venueFlags) {
 	cfg := movr.FleetScenarioConfig{
-		Seed:            seed,
-		Duration:        10 * time.Second,
-		HeadsetsPerRoom: players,
-		CoexPolicy:      policy,
-		CoexUplink:      uplink,
+		Seed:                 seed,
+		Duration:             10 * time.Second,
+		HeadsetsPerRoom:      players,
+		CoexPolicy:           policy,
+		CoexUplink:           uplink,
+		VenueBays:            vf.bays,
+		VenueChannels:        vf.channels,
+		VenueAssign:          vf.assign,
+		VenueInterferenceOff: vf.interferenceOff,
+		VenueAdmission:       vf.admission,
 	}
 	if fast {
 		cfg.Duration = 2 * time.Second
@@ -383,7 +486,22 @@ func runFleet(seed int64, workers, sessions, players int, policy movr.CoexPolicy
 	// report records which airtime policy and bay population produced
 	// it. Legacy scenarios print nothing extra — their output stays
 	// byte-identical.
-	if movr.IsCoexFleetScenario(kind) {
+	if movr.IsVenueFleetScenario(kind) {
+		perRoom := players
+		if perRoom <= 0 {
+			perRoom = movr.DefaultCoexHeadsets
+		}
+		bays := vf.bays
+		if bays <= 0 {
+			bays = movr.DefaultVenueBays
+		}
+		channels := vf.channels
+		if channels <= 0 {
+			channels = movr.DefaultVenueChannels
+		}
+		fmt.Printf("venue: bays=%d players-per-bay=%d channels=%d assign=%s admission=%s policy=%s uplink=%v\n\n",
+			bays, perRoom, channels, vf.assign, vf.admission, policy, uplink)
+	} else if movr.IsCoexFleetScenario(kind) {
 		perRoom := players
 		if perRoom <= 0 {
 			perRoom = movr.DefaultCoexHeadsets

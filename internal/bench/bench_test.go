@@ -176,7 +176,8 @@ func TestSuiteShape(t *testing.T) {
 		"tracer/office2b", "linkmgr/step", "coex/snapshot", "fig9/trial",
 		"obs/record", "obs/off",
 		"fleet/mixed", "fleet/arcade", "fleet/home", "fleet/dense",
-		"fleet/coex", "fleet/coexpf", "fleet/coexedf",
+		"fleet/coex", "fleet/coexpf", "fleet/coexedf", "fleet/venue",
+		"fleet/venue16x4",
 		"server/aggregate_stream",
 		"movrd/submit",
 	}

@@ -41,7 +41,7 @@ func Suite() []Spec {
 	for _, kind := range fleet.Kinds {
 		specs = append(specs, fleetSpec(kind))
 	}
-	return append(specs, aggregateStreamSpec(), movrdSpec())
+	return append(specs, venueSpec(), aggregateStreamSpec(), movrdSpec())
 }
 
 // tracerSpec measures one steady-state TraceHInto in the furnished
@@ -254,6 +254,41 @@ func fleetSpec(kind fleet.Kind) Spec {
 			}
 			if res.Agg.Sessions != len(specs) {
 				return fmt.Errorf("sessions = %d, want %d", res.Agg.Sessions, len(specs))
+			}
+			return nil
+		},
+	}
+}
+
+// venueSpec measures the venue scenario at its quickstart scale — 16
+// bays × 4 players, 64 sessions — through the streaming collector, the
+// aggregation path venue jobs default to (StreamCollectorFor keeps RSS
+// constant however many bays the venue grows). The run covers the whole
+// venue pipeline: bay grid layout, greedy channel coloring, per-bay
+// geometry snapshots, cross-bay interference tables, and the penalized
+// session simulations.
+func venueSpec() Spec {
+	cfg := fleet.ScenarioConfig{
+		Seed:         1,
+		Duration:     500 * time.Millisecond,
+		ReEvalPeriod: 50 * time.Millisecond,
+	}
+	specs, specErr := fleet.Venue(16, 4, cfg)
+	return Spec{
+		Name:   "fleet/venue16x4",
+		Warmup: 1,
+		Reps:   5,
+		Op: func() error {
+			if specErr != nil {
+				return specErr
+			}
+			col := fleet.StreamCollectorFor(specs)
+			res, err := fleet.RunCollect(context.Background(), specs, fleet.Config{Workers: suiteWorkers}, col)
+			if err != nil {
+				return err
+			}
+			if res.Agg.Sessions != len(specs) || len(specs) != 64 {
+				return fmt.Errorf("sessions = %d of %d specs, want 64", res.Agg.Sessions, len(specs))
 			}
 			return nil
 		},

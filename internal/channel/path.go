@@ -127,6 +127,33 @@ func AtmosphericLossDB(distanceM, freqHz float64) float64 {
 	return dBPerKm * distanceM / 1000
 }
 
+// TransmissionLossDB returns the through-wall penetration loss of a
+// partition built from mat at mmWave — the per-wall attenuation a
+// signal leaking into an adjacent bay pays, complementing the
+// per-bounce reflection loss (Material.ReflLossDB) the tracer charges
+// inside a room. The two are calibrated together: a strong specular
+// reflector (metal, low ReflLossDB) passes almost nothing through,
+// while a lossy reflector like drywall is also the most transparent —
+// consistent with published 60 GHz penetration measurements (drywall
+// ≈6–10 dB, glass a few dB, concrete and metal effectively opaque).
+func TransmissionLossDB(mat room.Material) float64 {
+	switch mat.Name {
+	case "drywall":
+		return 8
+	case "glass":
+		return 4
+	case "wood", "whiteboard":
+		return 7
+	case "concrete":
+		return 30
+	case "metal":
+		return 40
+	}
+	// Unknown materials: anti-correlate with the reflection loss so the
+	// pair stays physically coherent (better reflectors transmit less).
+	return 2 + 2*(16-mat.ReflLossDB)
+}
+
 // Blocked reports whether the path suffers any obstacle loss beyond
 // the given threshold (default sense: any loss at all).
 func (p Path) Blocked(thresholdDB float64) bool { return p.BlockLossDB > thresholdDB }

@@ -110,6 +110,22 @@ type Room struct {
 	// Vive frame interval (≈11.1 ms at 90 Hz).
 	FrameInterval time.Duration
 
+	// ExtSINRPenaltyDB, when non-empty, is the bay's external-
+	// interference input: the SINR penalty (dB ≥ 0) that co-channel
+	// transmitters in neighboring bays impose, indexed by scheduling
+	// window (out-of-range windows carry no penalty). The venue layer
+	// computes the table per bay from the neighbors' geometry snapshots;
+	// a plain table rather than a callback keeps rooms comparable and
+	// spec generation trivially deterministic. It reaches the airtime
+	// policies via Window.ExtPenaltyDB and the session's link budget via
+	// Scheduler.ExtPenaltyDB; the built-in policies' shares are
+	// invariant to it (a bay-wide penalty scales every player's quality
+	// equally and shares normalize), which is what keeps a Geometry
+	// snapshot built without the input bit-identical to live layout.
+	// Empty means no external interference — the historical single-room
+	// behavior.
+	ExtSINRPenaltyDB []float64
+
 	// Geometry, when non-nil, is the room-owned precomputed snapshot —
 	// peer poses and the full window schedule over the room's horizon,
 	// built once with BuildGeometry and shared read-only by every
@@ -136,6 +152,7 @@ type Scheduler struct {
 	uplink  time.Duration
 	frame   time.Duration
 	policy  AirtimePolicy
+	ext     []float64
 
 	// Cached window: the sub-slot [slotStart, slotEnd) assigned to Self
 	// inside window winIdx (selfActive=false when Self's slots were
@@ -226,6 +243,7 @@ func NewScheduler(rm Room, ap geom.Vec) (*Scheduler, error) {
 	s := &Scheduler{
 		players:   rm.Players,
 		self:      rm.Self,
+		ext:       rm.ExtSINRPenaltyDB,
 		period:    period,
 		radius:    radius,
 		ap:        ap,
@@ -309,6 +327,27 @@ func (s *Scheduler) Wrap(rate stream.RateFunc) stream.RateFunc {
 	}
 }
 
+// HasExtInterference reports whether the room carries an external-
+// interference input (a venue bay with co-channel neighbors).
+func (s *Scheduler) HasExtInterference() bool { return len(s.ext) > 0 }
+
+// ExtPenaltyDB returns the external (cross-bay) SINR penalty in dB at
+// virtual time t: the room's interference table indexed by t's
+// scheduling window, 0 when the room carries none or the window is
+// past the table. It is a pure per-window lookup — it neither touches
+// nor advances the cached window, so calling it never perturbs
+// schedule evaluation order.
+func (s *Scheduler) ExtPenaltyDB(t time.Duration) float64 {
+	if t < 0 {
+		t = 0
+	}
+	win := int64(t / s.period)
+	if win < 0 || win >= int64(len(s.ext)) {
+		return 0
+	}
+	return s.ext[win]
+}
+
 // shareScale returns the integer weight scale policy share fractions
 // are quantized to before the sub-slot boundaries are computed. Integer
 // boundary arithmetic keeps the partition exact — the last slot ends on
@@ -364,6 +403,13 @@ func (s *Scheduler) emitWindow(win int64) {
 		s.obs.EmitAt(start, obs.KindSlotReclaim, int32(win), 0, 0, 0)
 	}
 	s.obs.EmitAt(start, obs.KindAirtime, int32(win), 0, received, s.entitled)
+	if len(s.ext) > 0 {
+		pen := 0.0
+		if win < int64(len(s.ext)) {
+			pen = s.ext[win]
+		}
+		s.obs.EmitAt(start, obs.KindBayInterference, int32(win), 0, pen, 0)
+	}
 }
 
 // layoutWindow evaluates the active set at the start of window win,
@@ -411,6 +457,10 @@ func (s *Scheduler) layoutWindow(win int64, active []bool, starts, ends []time.D
 	w := &s.win
 	w.Index, w.Start, w.DownStart, w.Downlink, w.Frame = win, start, upEnd, down, s.frame
 	w.Poses, w.Active, w.NActive, w.Weights = s.poses, s.activeSet, nActive, s.weights
+	w.ExtPenaltyDB = 0
+	if win >= 0 && win < int64(len(s.ext)) {
+		w.ExtPenaltyDB = s.ext[win]
+	}
 
 	for i := range s.shares {
 		s.shares[i] = 0

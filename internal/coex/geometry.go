@@ -117,6 +117,24 @@ func (g *Geometry) Windows() int64 { return g.nWins }
 // Step returns the pose-table tick cadence.
 func (g *Geometry) Step() time.Duration { return g.step }
 
+// Period returns the scheduling window length the snapshot was built
+// with (defaults resolved).
+func (g *Geometry) Period() time.Duration { return g.period }
+
+// SlotAt returns player i's downlink sub-slot of window win in absolute
+// virtual time, and whether the player holds one (active=false when its
+// airtime was reclaimed or sized to nothing, or the query is out of the
+// table's range). The venue layer reads neighboring bays' transmit
+// activity through this: which player the bay's AP serves when, without
+// re-running the airtime policy.
+func (g *Geometry) SlotAt(win int64, i int) (start, end time.Duration, active bool) {
+	if win < 0 || win >= g.nWins || i < 0 || i >= len(g.players) {
+		return 0, 0, false
+	}
+	k := int(win)*len(g.players) + i
+	return g.starts[k], g.ends[k], g.active[k]
+}
+
 // PoseAt returns player i's position at virtual time t, answered from
 // the pose table. The second return is false — and the caller must fall
 // back to the player's trace — when t is off the snapshot's tick grid,
@@ -151,7 +169,10 @@ func tracesEqual(a, b vr.Trace) bool {
 
 // check verifies the snapshot was built for exactly the configuration
 // scheduler s resolved from its room, so a stale or mismatched snapshot
-// fails at construction instead of silently skewing the schedule.
+// fails at construction instead of silently skewing the schedule. The
+// external-interference input is deliberately not compared: venue
+// snapshots are built before the per-bay penalties exist, and the
+// schedule tables are invariant to the input (see Room.ExtSINRPenaltyDB).
 func (g *Geometry) check(s *Scheduler) error {
 	if len(g.players) != len(s.players) {
 		return fmt.Errorf("coex: geometry built for %d players, room has %d", len(g.players), len(s.players))

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/vr"
 )
 
 // PolicyName names a pluggable airtime policy. It is the shared
@@ -104,6 +105,15 @@ type Window struct {
 	// equal. Use Weight to read them.
 	Weights []float64
 
+	// ExtPenaltyDB is the bay's external-interference input for this
+	// window: the SINR penalty co-channel neighbors impose (0 when the
+	// room has none — see Room.ExtSINRPenaltyDB). It is advisory
+	// context: a policy consulting it must remain share-invariant when
+	// the penalty applies bay-wide (as the built-ins trivially are, by
+	// ignoring it), or schedules read from a Geometry snapshot — which
+	// is built without the input — would diverge from live layout.
+	ExtPenaltyDB float64
+
 	sched *Scheduler
 }
 
@@ -166,6 +176,44 @@ type AirtimePolicy interface {
 	// players are forced to zero regardless. Returning all zeros
 	// degrades to an even split over the active players.
 	Shares(w *Window, shares []float64)
+}
+
+// MaxAdmissible reports how many of n requested players the named
+// airtime policy can serve in one bay without starving anyone — the
+// policy-driven capacity the venue admission path asks before letting
+// players onto a bay's medium. Zero period/frame resolve to the same
+// defaults NewScheduler applies. Every policy requires the per-player
+// pose-uplink reservation to leave downlink airtime; the deadline-aware
+// policy additionally refuses players beyond the number of whole
+// display-frame intervals a window's downlink span carries, because a
+// player entitled to less than one whole frame per window on average
+// can never meet a deadline — admitting it starves everyone's deadline
+// budget instead of degrading gracefully.
+func MaxAdmissible(p PolicyName, n int, period, frame, uplink time.Duration) int {
+	if period <= 0 {
+		period = DefaultPeriod
+	}
+	if frame <= 0 {
+		frame = vr.HTCVive().FrameInterval()
+	}
+	if uplink < 0 {
+		uplink = 0
+	}
+	name, err := ParsePolicy(string(p))
+	if err != nil {
+		name = PolicyRR
+	}
+	for k := n; k > 1; k-- {
+		down := period - uplink*time.Duration(k)
+		if down <= 0 {
+			continue
+		}
+		if name == PolicyEDF && int64(down/frame) < int64(k) {
+			continue
+		}
+		return k
+	}
+	return 1
 }
 
 // newPolicy instantiates the named policy with scratch sized for n

@@ -10,6 +10,7 @@ import (
 	"github.com/movr-sim/movr/internal/geom"
 	"github.com/movr-sim/movr/internal/linkmgr"
 	"github.com/movr-sim/movr/internal/obs"
+	"github.com/movr-sim/movr/internal/phy"
 	"github.com/movr-sim/movr/internal/reflector"
 	"github.com/movr-sim/movr/internal/room"
 	"github.com/movr-sim/movr/internal/sim"
@@ -87,6 +88,16 @@ type SessionConfig struct {
 	// Variants selects which system variants Session runs. Nil runs all
 	// four.
 	Variants []SessionVariant
+
+	// AdmissionQueued and AdmissionRejected record how many players the
+	// venue admission controller held back from this session's bay
+	// (queued for a later slot vs. turned away). They are bookkeeping
+	// only — the held-back players never enter the world — but the
+	// counts are emitted on the session's event stream so venue traces
+	// show where capacity ran out. The fleet generator sets them on one
+	// session per bay.
+	AdmissionQueued   int
+	AdmissionRejected int
 
 	// Obs, when non-nil, records the session's event stream: link
 	// transitions and reassessments from the controller, per-window
@@ -380,10 +391,35 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) (Vari
 	if rec != nil {
 		rec.SetClock(engine.Now)
 		rec.EmitAt(0, obs.KindSessionStart, 0, 0, 0, 0)
+		if cfg.AdmissionQueued > 0 {
+			rec.EmitAt(0, obs.KindAdmissionQueued, int32(cfg.AdmissionQueued), 0, 0, 0)
+		}
+		if cfg.AdmissionRejected > 0 {
+			rec.EmitAt(0, obs.KindAdmissionRejected, int32(cfg.AdmissionRejected), 0, 0, 0)
+		}
 		mgr.Obs = rec
 		if sched != nil {
 			sched.SetRecorder(rec)
 		}
+	}
+
+	// rateOf folds the bay's external-interference penalty (cross-bay
+	// leakage, set by the venue layer as Coex.ExtSINRPenaltyDB) into a
+	// link state's deliverable rate: the serving path's SNR drops by the
+	// current window's penalty and the MCS is re-picked at the degraded
+	// SINR. The zero-penalty path returns the state's own rate — the
+	// same phy.RateBps derivation — so interference-free bays (and every
+	// pre-venue caller, where the input is nil) are bit-identical to the
+	// historical code.
+	rateOf := func(st linkmgr.LinkState) float64 {
+		if sched == nil || !sched.HasExtInterference() || st.RateBps <= 0 {
+			return st.RateBps
+		}
+		pen := sched.ExtPenaltyDB(engine.Now())
+		if pen <= 0 {
+			return st.RateBps
+		}
+		return phy.RateBps(st.SNRdB - pen)
 	}
 
 	currentRate := 0.0
@@ -435,7 +471,7 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) (Vari
 			currentRate = 0 // alignment sweep holds the link down
 			return
 		}
-		currentRate = mgr.Reassess().RateBps
+		currentRate = rateOf(mgr.Reassess())
 	}
 
 	// Controller tick: the variant's policy acts at ReEvalPeriod.
@@ -471,7 +507,7 @@ func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) (Vari
 			}
 		}
 		notePath(st)
-		currentRate = st.RateBps
+		currentRate = rateOf(st)
 	}
 
 	// Initial state, then both cadences.

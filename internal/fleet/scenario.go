@@ -10,6 +10,7 @@ import (
 	"github.com/movr-sim/movr/internal/experiments"
 	"github.com/movr-sim/movr/internal/geom"
 	"github.com/movr-sim/movr/internal/room"
+	"github.com/movr-sim/movr/internal/venue"
 	"github.com/movr-sim/movr/internal/vr"
 )
 
@@ -45,6 +46,30 @@ type ScenarioConfig struct {
 	// bay, cycled when a bay holds more players than weights. Nil means
 	// equal weights.
 	CoexWeights []float64
+
+	// VenueBays sets how many adjacent bays the venue scenario lays out
+	// on its grid (venue scenario only; 0 means DefaultVenueBays).
+	VenueBays int
+
+	// VenueChannels is the venue's channel budget for bay assignment
+	// (venue scenario only; 0 means venue.DefaultChannels).
+	VenueChannels int
+
+	// VenueAssign selects the venue's channel-assignment strategy
+	// (venue scenario only; empty means greedy coloring).
+	VenueAssign venue.AssignMode
+
+	// VenueInterferenceOff disables cross-bay interference, leaving the
+	// venue a pure replication of independent coex bays — the knob the
+	// bit-identity guard and A/B studies flip.
+	VenueInterferenceOff bool
+
+	// VenueAdmission selects what happens to players beyond a bay's
+	// admission capacity (coex.MaxAdmissible): AdmissionQueue (the
+	// default) holds them for a later slot, AdmissionReject turns them
+	// away. Either way they never enter the world; the choice only
+	// changes which admission event the bay's trace carries.
+	VenueAdmission string
 }
 
 func (cfg ScenarioConfig) withDefaults() ScenarioConfig {
@@ -85,19 +110,30 @@ const (
 	// and gets its own bench suite entries.
 	KindCoexPF  Kind = "coexpf"
 	KindCoexEDF Kind = "coexedf"
+
+	// KindVenue is the venue-scale scenario: a grid of adjacent coex
+	// bays whose channels leak through the partition walls, with
+	// per-bay channel assignment, cross-bay interference and admission
+	// control (see Venue).
+	KindVenue Kind = "venue"
 )
 
 // Kinds lists the recognised scenario kinds in menu order.
-var Kinds = []Kind{KindMixed, KindArcade, KindHome, KindDense, KindCoex, KindCoexPF, KindCoexEDF}
+var Kinds = []Kind{KindMixed, KindArcade, KindHome, KindDense, KindCoex, KindCoexPF, KindCoexEDF, KindVenue}
 
 // IsCoexKind reports whether the kind is a shared-medium scenario — the
 // family the players-per-bay, airtime-policy and uplink knobs apply to.
+// The venue kind is in the family: its bays are coex rooms.
 func IsCoexKind(k Kind) bool {
-	return k == KindCoex || k == KindCoexPF || k == KindCoexEDF
+	return k == KindCoex || k == KindCoexPF || k == KindCoexEDF || k == KindVenue
 }
 
+// IsVenueKind reports whether the kind is the venue scenario — the only
+// kind the bays, channels, assignment and admission knobs apply to.
+func IsVenueKind(k Kind) bool { return k == KindVenue }
+
 // KindNames renders the menu for usage strings:
-// "mixed|arcade|home|dense|coex|coexpf|coexedf".
+// "mixed|arcade|home|dense|coex|coexpf|coexedf|venue".
 func KindNames() string {
 	names := make([]string, len(Kinds))
 	for i, k := range Kinds {
@@ -138,6 +174,8 @@ func (k Kind) Specs(n int, cfg ScenarioConfig) ([]Spec, error) {
 	case KindCoexEDF:
 		cfg.CoexPolicy = coex.PolicyEDF
 		return CoexN(n, cfg), nil
+	case KindVenue:
+		return VenueN(n, cfg)
 	}
 	return nil, fmt.Errorf("unknown scenario %q (%s)", string(k), KindNames())
 }
@@ -159,6 +197,8 @@ func (k Kind) Title() string {
 		return "Fleet — VR arcade, shared medium (proportional-fair airtime + inter-player blockage)"
 	case KindCoexEDF:
 		return "Fleet — VR arcade, shared medium (deadline-aware airtime + inter-player blockage)"
+	case KindVenue:
+		return "Fleet — venue (bay grid, cross-bay interference + channel assignment + admission)"
 	}
 	return "Fleet"
 }
@@ -250,61 +290,23 @@ func Coex(rooms, headsetsPerRoom int, cfg ScenarioConfig) []Spec {
 	// One weight vector serves every bay (cycled over the room's
 	// players); every session of a room shares the same backing slice,
 	// like the trace set.
-	var weights []float64
-	if len(cfg.CoexWeights) > 0 {
-		weights = make([]float64, headsetsPerRoom)
-		for h := range weights {
-			weights[h] = cfg.CoexWeights[h%len(cfg.CoexWeights)]
-		}
-	}
+	weights := cycleWeights(headsetsPerRoom, cfg.CoexWeights)
 
 	var specs []Spec
 	for r := 0; r < rooms; r++ {
-		seeds := make([]int64, headsetsPerRoom)
-		for h := range seeds {
-			seeds[h] = rng.Int63()
-		}
-		// Every player's trace is generated up front exactly the way the
-		// session will regenerate its own (same room, seed and duration),
-		// so each session's scheduler sees the identical room: peers from
-		// these traces, itself from its live session trace.
-		traces := make([]vr.Trace, headsetsPerRoom)
-		for h, seed := range seeds {
-			trCfg := vr.DefaultTraceConfig(w, d, seed)
-			trCfg.Duration = cfg.Duration
-			tr, err := vr.Generate(trCfg)
-			if err != nil {
-				panic(err) // 8×8 m bay always fits the motion generator
-			}
-			traces[h] = tr
-		}
-		// The room owns its geometry: one snapshot of every player's
-		// pose grid and the full window schedule, built once here and
-		// shared read-only by all of the bay's sessions — each session
-		// then reads the schedule instead of re-running the airtime
-		// policy per window.
-		geo, err := experiments.BuildCoexGeometry(coex.Room{
-			Players:    traces,
-			Period:     cfg.ReEvalPeriod,
-			Policy:     cfg.CoexPolicy,
-			Weights:    weights,
-			UplinkSlot: cfg.CoexUplink,
-		}, cfg.Duration)
-		if err != nil {
-			panic(err) // traces validated by generation above
-		}
+		bay := buildCoexBay(rng, headsetsPerRoom, w, d, weights, cfg)
 		for h := 0; h < headsetsPerRoom; h++ {
-			sess := cfg.session(seeds[h])
+			sess := cfg.session(bay.seeds[h])
 			sess.RoomW, sess.RoomD = w, d
 			sess.Mounts = mounts
 			sess.Coex = &coex.Room{
-				Players:    traces,
+				Players:    bay.traces,
 				Self:       h,
 				Period:     cfg.ReEvalPeriod,
 				Policy:     cfg.CoexPolicy,
 				Weights:    weights,
 				UplinkSlot: cfg.CoexUplink,
-				Geometry:   geo,
+				Geometry:   bay.geo,
 			}
 			specs = append(specs, Spec{
 				ID:      fmt.Sprintf("coex/r%d/h%d", r, h),
@@ -313,6 +315,70 @@ func Coex(rooms, headsetsPerRoom int, cfg ScenarioConfig) []Spec {
 		}
 	}
 	return specs
+}
+
+// cycleWeights materializes the per-player weight vector for an n-player
+// bay: the configured weights cycled out to length n, nil when none are
+// configured (equal weights).
+func cycleWeights(n int, from []float64) []float64 {
+	if len(from) == 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	for h := range w {
+		w[h] = from[h%len(from)]
+	}
+	return w
+}
+
+// coexBay is one shared-medium bay's generated state: every player's
+// motion seed and trace, and the room-owned geometry snapshot all of the
+// bay's sessions share.
+type coexBay struct {
+	seeds  []int64
+	traces []vr.Trace
+	geo    *coex.Geometry
+}
+
+// buildCoexBay draws one bay's players and snapshot from rng. Both the
+// coex and venue generators route every bay through this builder in bay
+// order, so a venue consumes the rng stream exactly as the same number
+// of coex rooms would — the venue↔coex bit-identity guard depends on it.
+//
+// Every player's trace is generated up front exactly the way the session
+// will regenerate its own (same room, seed and duration), so each
+// session's scheduler sees the identical room: peers from these traces,
+// itself from its live session trace. The geometry snapshot — every
+// player's pose grid and the full window schedule — is built once here
+// and shared read-only by all of the bay's sessions, so each session
+// reads the schedule instead of re-running the airtime policy per
+// window.
+func buildCoexBay(rng *rand.Rand, headsets int, w, d float64, weights []float64, cfg ScenarioConfig) coexBay {
+	seeds := make([]int64, headsets)
+	for h := range seeds {
+		seeds[h] = rng.Int63()
+	}
+	traces := make([]vr.Trace, headsets)
+	for h, seed := range seeds {
+		trCfg := vr.DefaultTraceConfig(w, d, seed)
+		trCfg.Duration = cfg.Duration
+		tr, err := vr.Generate(trCfg)
+		if err != nil {
+			panic(err) // 8×8 m bay always fits the motion generator
+		}
+		traces[h] = tr
+	}
+	geo, err := experiments.BuildCoexGeometry(coex.Room{
+		Players:    traces,
+		Period:     cfg.ReEvalPeriod,
+		Policy:     cfg.CoexPolicy,
+		Weights:    weights,
+		UplinkSlot: cfg.CoexUplink,
+	}, cfg.Duration)
+	if err != nil {
+		panic(err) // traces validated by generation above
+	}
+	return coexBay{seeds: seeds, traces: traces, geo: geo}
 }
 
 // DefaultCoexHeadsets matches the arcade bay's four players; both

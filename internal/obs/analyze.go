@@ -36,6 +36,19 @@ type SessionSummary struct {
 	MeanReceived      float64
 	MeanEntitled      float64
 
+	// Cross-bay interference (venue sessions; all zero when the bay has
+	// no co-channel neighbors). An episode is a run of consecutive
+	// penalized windows; the means are taken over penalized windows
+	// only.
+	InterferedWindows    int
+	InterferenceEpisodes int
+	MeanPenaltyDB        float64
+	MaxPenaltyDB         float64
+
+	// Venue admission bookkeeping (recorded on one session per bay).
+	AdmissionQueued   int
+	AdmissionRejected int
+
 	// Deadline misses.
 	Misses          int
 	WorstMissBurst  int           // consecutive missed frames
@@ -76,7 +89,9 @@ func summarizeSession(s SessionTrace) SessionSummary {
 		missRunStart             time.Duration
 		missRunFirst             int32
 		lastBlockedWin           int32 = -2
+		lastPenWin               int32 = -2
 		receivedSum, entitledSum float64
+		penaltySum               float64
 	)
 	endMiss := func(last int32) {
 		if missRun > sum.WorstMissBurst {
@@ -113,6 +128,25 @@ func summarizeSession(s SessionTrace) SessionSummary {
 				sum.BlockedEpisodes++
 			}
 			lastBlockedWin = ev.A
+		case KindBayInterference:
+			// The scheduler emits every window's penalty; only positive
+			// ones degrade the link, so zeros end an episode without
+			// counting.
+			if ev.X > 0 {
+				sum.InterferedWindows++
+				penaltySum += ev.X
+				if ev.X > sum.MaxPenaltyDB {
+					sum.MaxPenaltyDB = ev.X
+				}
+				if ev.A != lastPenWin+1 {
+					sum.InterferenceEpisodes++
+				}
+				lastPenWin = ev.A
+			}
+		case KindAdmissionQueued:
+			sum.AdmissionQueued += int(ev.A)
+		case KindAdmissionRejected:
+			sum.AdmissionRejected += int(ev.A)
 		case KindFrameOK:
 			frames++
 			delivered++
@@ -135,6 +169,9 @@ func summarizeSession(s SessionTrace) SessionSummary {
 	if sum.Windows > 0 {
 		sum.MeanReceived = receivedSum / float64(sum.Windows)
 		sum.MeanEntitled = entitledSum / float64(sum.Windows)
+	}
+	if sum.InterferedWindows > 0 {
+		sum.MeanPenaltyDB = penaltySum / float64(sum.InterferedWindows)
 	}
 	sum.LongestBlockedRun = longestBlockedRun(s.Events)
 	return sum
@@ -187,6 +224,14 @@ func (a Analysis) Render() string {
 			fmt.Fprintf(&b, "  airtime: blocked %d/%d windows (%d episodes, longest %d); received %.1f%% vs entitled %.1f%%\n",
 				s.BlockedWindows, s.Windows, s.BlockedEpisodes, s.LongestBlockedRun,
 				100*s.MeanReceived, 100*s.MeanEntitled)
+		}
+		if s.InterferedWindows > 0 {
+			fmt.Fprintf(&b, "  interference: SINR penalty in %d windows (%d episodes), mean %.2f dB, max %.2f dB\n",
+				s.InterferedWindows, s.InterferenceEpisodes, s.MeanPenaltyDB, s.MaxPenaltyDB)
+		}
+		if s.AdmissionQueued > 0 || s.AdmissionRejected > 0 {
+			fmt.Fprintf(&b, "  admission: %d players queued, %d rejected beyond bay capacity\n",
+				s.AdmissionQueued, s.AdmissionRejected)
 		}
 	}
 	return b.String()

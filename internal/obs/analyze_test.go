@@ -91,6 +91,67 @@ func almost(got, want float64) bool {
 	return d < 1e-12 && d > -1e-12
 }
 
+// TestAnalyzeVenueEvents pins the venue additions end to end: the new
+// kinds keep stable wire names, the analyzer condenses per-window
+// SINR penalties into episode statistics (zero-penalty windows break
+// an episode without counting), admission bookkeeping is summed, and
+// the rendering surfaces both.
+func TestAnalyzeVenueEvents(t *testing.T) {
+	for kind, name := range map[Kind]string{
+		KindBayInterference:   "bay_interference",
+		KindAdmissionQueued:   "admission_queued",
+		KindAdmissionRejected: "admission_rejected",
+	} {
+		if kind.String() != name {
+			t.Errorf("kind %d wire name %q, want %q", kind, kind.String(), name)
+		}
+		if parsed, ok := ParseKind(name); !ok || parsed != kind {
+			t.Errorf("ParseKind(%q) = %d, %v", name, parsed, ok)
+		}
+	}
+
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	tr := Trace{Sessions: []SessionTrace{{
+		ID: "venue/b0/h0",
+		Events: []Event{
+			{T: 0, Kind: KindSessionStart},
+			{T: 0, Kind: KindAdmissionQueued, A: 2},
+			{T: 0, Kind: KindAdmissionRejected, A: 1},
+			// Windows 0-1 penalized, window 2 clean, windows 3-4 penalized:
+			// two episodes over four interfered windows.
+			{T: 0, Kind: KindBayInterference, A: 0, X: 0.5},
+			{T: ms(50), Kind: KindBayInterference, A: 1, X: 1.5},
+			{T: ms(100), Kind: KindBayInterference, A: 2, X: 0},
+			{T: ms(150), Kind: KindBayInterference, A: 3, X: 1.0},
+			{T: ms(200), Kind: KindBayInterference, A: 4, X: 1.0},
+			{T: ms(250), Kind: KindSessionEnd, A: 3, B: 5},
+		},
+	}}}
+	s := Analyze(tr).Sessions[0]
+	if s.InterferedWindows != 4 {
+		t.Errorf("interfered windows = %d, want 4", s.InterferedWindows)
+	}
+	if s.InterferenceEpisodes != 2 {
+		t.Errorf("interference episodes = %d, want 2", s.InterferenceEpisodes)
+	}
+	if !almost(s.MeanPenaltyDB, 1.0) {
+		t.Errorf("mean penalty = %v dB, want 1.0", s.MeanPenaltyDB)
+	}
+	if s.MaxPenaltyDB != 1.5 {
+		t.Errorf("max penalty = %v dB, want 1.5", s.MaxPenaltyDB)
+	}
+	if s.AdmissionQueued != 2 || s.AdmissionRejected != 1 {
+		t.Errorf("admission queued/rejected = %d/%d, want 2/1", s.AdmissionQueued, s.AdmissionRejected)
+	}
+
+	out := Analyze(tr).Render()
+	for _, want := range []string{"interference", "episodes", "admission", "queued"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestAnalyzeFallsBackToCountingFrames(t *testing.T) {
 	// Session-end marker lost to the ring: frames counted from events.
 	tr := Trace{Sessions: []SessionTrace{{

@@ -87,6 +87,21 @@ const (
 	// arrive before the deadline — the partial-delivery context.
 	KindFrameMiss
 
+	// KindBayInterference is one scheduling window's external (cross-
+	// bay) SINR penalty, emitted by a coex scheduler whose room carries
+	// a venue interference input. A = window index, X = penalty in dB.
+	KindBayInterference
+
+	// KindAdmissionQueued records that venue admission control deferred
+	// players from this session's bay: they wait outside instead of
+	// starving the admitted players' airtime. A = queued player count.
+	KindAdmissionQueued
+
+	// KindAdmissionRejected records that venue admission control turned
+	// players of this session's bay away outright. A = rejected player
+	// count.
+	KindAdmissionRejected
+
 	kindMax // sentinel; keep last
 )
 
@@ -103,6 +118,10 @@ var kindNames = [kindMax]string{
 	KindAirtime:      "airtime",
 	KindFrameOK:      "frame_ok",
 	KindFrameMiss:    "frame_miss",
+
+	KindBayInterference:   "bay_interference",
+	KindAdmissionQueued:   "admission_queued",
+	KindAdmissionRejected: "admission_rejected",
 }
 
 // String returns the kind's wire name.

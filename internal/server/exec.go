@@ -12,6 +12,7 @@ import (
 	"github.com/movr-sim/movr/internal/fleet"
 	"github.com/movr-sim/movr/internal/fleet/pool"
 	"github.com/movr-sim/movr/internal/obs"
+	"github.com/movr-sim/movr/internal/venue"
 )
 
 // TraceArtifact is a completed job's flight-data recording: the
@@ -100,11 +101,16 @@ func executeFleet(ctx context.Context, f FleetJobSpec, runner *pool.Runner, onSe
 		return fleet.Result{}, "", nil, err
 	}
 	scfg := fleet.ScenarioConfig{
-		Seed:            f.Seed,
-		Duration:        f.fleetDuration(),
-		ReEvalPeriod:    f.reEvalPeriod(),
-		HeadsetsPerRoom: f.HeadsetsPerRoom,
-		CoexPolicy:      coex.PolicyName(f.CoexPolicy),
+		Seed:                 f.Seed,
+		Duration:             f.fleetDuration(),
+		ReEvalPeriod:         f.reEvalPeriod(),
+		HeadsetsPerRoom:      f.HeadsetsPerRoom,
+		CoexPolicy:           coex.PolicyName(f.CoexPolicy),
+		VenueBays:            f.Bays,
+		VenueChannels:        f.Channels,
+		VenueAssign:          venue.AssignMode(f.Assign),
+		VenueInterferenceOff: f.InterferenceOff,
+		VenueAdmission:       f.Admission,
 	}
 	base, err := kind.Specs(f.Sessions, scfg)
 	if err != nil {
@@ -159,6 +165,9 @@ func executeFleet(ctx context.Context, f FleetJobSpec, runner *pool.Runner, onSe
 	title := kind.Title()
 	if f.CoexPolicy != "" {
 		title += " [policy=" + f.CoexPolicy + "]"
+	}
+	if fleet.IsVenueKind(kind) {
+		title += fmt.Sprintf(" [bays=%d channels=%d assign=%s]", f.Bays, f.Channels, f.Assign)
 	}
 	if len(f.Variants) > 1 {
 		title += " [" + strings.Join(f.Variants, "+") + "]"

@@ -35,6 +35,10 @@ type serverMetrics struct {
 	tracedJobs   *metrics.Counter
 	traceEvents  *metrics.Counter
 	traceDropped *metrics.Counter
+
+	admissionAdmitted *metrics.Counter
+	admissionQueued   *metrics.Counter
+	admissionRejected *metrics.Counter
 }
 
 func newServerMetrics(runner *pool.Runner, c *cache, st *store) *serverMetrics {
@@ -62,6 +66,12 @@ func newServerMetrics(runner *pool.Runner, c *cache, st *store) *serverMetrics {
 		tracedJobs:   reg.NewCounter("movrd_traced_jobs_total", "Completed jobs that recorded an event trace."),
 		traceEvents:  reg.NewCounter("movrd_trace_events_total", "Events captured across all completed traced jobs."),
 		traceDropped: reg.NewCounter("movrd_trace_events_dropped_total", "Events lost to per-session ring-buffer overflow across traced jobs."),
+		admissionAdmitted: reg.NewCounter("movrd_admission_admitted_total",
+			"Venue players admitted by the bay admission controller, summed over submitted venue jobs."),
+		admissionQueued: reg.NewCounter("movrd_admission_queued_total",
+			"Venue players queued beyond bay capacity, summed over submitted venue jobs."),
+		admissionRejected: reg.NewCounter("movrd_admission_rejected_total",
+			"Venue players rejected beyond bay capacity, including submissions refused with admission_denied."),
 	}
 	reg.NewGaugeFunc("movrd_cache_entries", "Entries in the result cache.",
 		func() float64 { return float64(c.Len()) })

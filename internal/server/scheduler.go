@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/movr-sim/movr/internal/coex"
 	"github.com/movr-sim/movr/internal/fleet"
 	"github.com/movr-sim/movr/internal/fleet/pool"
 )
@@ -160,6 +161,10 @@ var (
 
 	// ErrShuttingDown rejects submissions during shutdown (503).
 	ErrShuttingDown = errors.New("server: shutting down")
+
+	// ErrAdmissionDenied refuses a venue job whose per-bay player count
+	// exceeds the TDMA admission capacity under admission=reject (409).
+	ErrAdmissionDenied = errors.New("server: admission denied")
 )
 
 // Options tunes the scheduler.
@@ -475,6 +480,9 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.admitVenue(norm); err != nil {
+		return nil, err
+	}
 
 	// Traced jobs bypass the cache and coalescing entirely: both return
 	// result bytes only, silently losing the trace the caller asked for.
@@ -551,6 +559,40 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		s.met.jobsRejected.Inc()
 		return nil, ErrQueueFull
 	}
+}
+
+// admitVenue runs policy-driven admission control on a normalized venue
+// spec before any queueing: each bay's TDMA window only fits
+// fleet.VenueCapacity players under the configured policy, and players
+// beyond it are queued (the job runs with the admitted set, the
+// generator records the overflow) or — under admission=reject — refuse
+// the whole submission with ErrAdmissionDenied, the API's 409. The
+// admission counters account players across the venue either way.
+// Non-venue specs pass through untouched.
+func (s *Scheduler) admitVenue(norm JobSpec) error {
+	if norm.Kind != "fleet" || norm.Fleet == nil || norm.Fleet.Scenario != string(fleet.KindVenue) {
+		return nil
+	}
+	f := norm.Fleet
+	capacity := fleet.VenueCapacity(f.HeadsetsPerRoom, fleet.ScenarioConfig{
+		ReEvalPeriod: f.reEvalPeriod(),
+		CoexPolicy:   coex.PolicyName(f.CoexPolicy),
+	})
+	overflow := f.HeadsetsPerRoom - capacity
+	if overflow > 0 && f.Admission == fleet.AdmissionReject {
+		s.met.admissionRejected.Add(int64(overflow * f.Bays))
+		policy := f.CoexPolicy
+		if policy == "" {
+			policy = string(coex.PolicyRR)
+		}
+		return fmt.Errorf("%w: %d players per bay exceeds the %s policy's admission capacity of %d",
+			ErrAdmissionDenied, f.HeadsetsPerRoom, policy, capacity)
+	}
+	s.met.admissionAdmitted.Add(int64(capacity * f.Bays))
+	if overflow > 0 {
+		s.met.admissionQueued.Add(int64(overflow * f.Bays))
+	}
+	return nil
 }
 
 // followPrimary mirrors the primary's terminal state onto a coalesced

@@ -164,6 +164,12 @@ const (
 	// job was canceled before producing it (404).
 	ErrCodeJobCanceled = "job_canceled"
 
+	// ErrCodeAdmissionDenied refuses a venue job whose per-bay player
+	// count exceeds the TDMA admission capacity under admission=reject
+	// (409) — resubmit with fewer players per bay, a roomier airtime
+	// policy, or admission=queue.
+	ErrCodeAdmissionDenied = "admission_denied"
+
 	// ErrCodeQueueFull is backpressure: the job queue is at capacity;
 	// retry after the Retry-After delay (429).
 	ErrCodeQueueFull = "queue_full"
@@ -219,6 +225,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, ErrCodeQueueFull, "job queue full", "retry after the Retry-After delay")
+		return
+	case errors.Is(err, ErrAdmissionDenied):
+		writeError(w, http.StatusConflict, ErrCodeAdmissionDenied, "admission denied", err.Error())
 		return
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, ErrCodeShuttingDown, "server shutting down", "")

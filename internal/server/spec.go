@@ -25,6 +25,7 @@ import (
 	"github.com/movr-sim/movr/internal/coex"
 	"github.com/movr-sim/movr/internal/experiments"
 	"github.com/movr-sim/movr/internal/fleet"
+	"github.com/movr-sim/movr/internal/venue"
 )
 
 // Service limits: jobs are interactive API calls, not batch runs, so
@@ -82,8 +83,9 @@ type ShardSpec struct {
 // FleetJobSpec parameterizes a multi-session fleet run.
 type FleetJobSpec struct {
 	// Scenario is the generator kind: mixed|arcade|home|dense|coex|
-	// coexpf|coexedf (default mixed). The coexpf/coexedf shorthands
-	// normalize to scenario "coex" with the matching coex_policy.
+	// coexpf|coexedf|venue (default mixed). The coexpf/coexedf
+	// shorthands normalize to scenario "coex" with the matching
+	// coex_policy.
 	Scenario string `json:"scenario,omitempty"`
 
 	// Sessions is the session count (default 8, max 256).
@@ -117,6 +119,32 @@ type FleetJobSpec struct {
 	// scenario shorthands into scenario "coex" with the matching
 	// policy, so the two spellings share one cache entry.
 	CoexPolicy string `json:"coex_policy,omitempty"`
+
+	// Bays sets how many bays the venue scenario lays out on its grid
+	// (venue scenario only; default 4, max 64). Like every venue field
+	// it must be zero for every other scenario and is omitted from the
+	// canonical encoding when unset — so pre-venue specs keep their
+	// hashes and cached results stay valid.
+	Bays int `json:"bays,omitempty"`
+
+	// Channels is the venue's channel budget for bay assignment (venue
+	// scenario only; default 3, max 4).
+	Channels int `json:"channels,omitempty"`
+
+	// Assign selects the venue's channel-assignment strategy:
+	// color|fixed (venue scenario only; default color).
+	Assign string `json:"assign,omitempty"`
+
+	// InterferenceOff disables cross-bay interference (venue scenario
+	// only), leaving the venue a replication of independent coex bays.
+	InterferenceOff bool `json:"interference_off,omitempty"`
+
+	// Admission selects what happens to players beyond a bay's TDMA
+	// admission capacity: queue|reject (venue scenario only; default
+	// queue). In reject mode the daemon refuses an over-capacity
+	// submission outright with an admission_denied error instead of
+	// running the truncated venue.
+	Admission string `json:"admission,omitempty"`
 
 	// Trace records a per-session structured event trace during the run
 	// and exposes it at GET /v1/jobs/{id}/trace as Chrome trace-event
@@ -242,6 +270,20 @@ func (f FleetJobSpec) normalize() (FleetJobSpec, error) {
 	if _, err := fleet.ParseKind(f.Scenario); err != nil {
 		return FleetJobSpec{}, fmt.Errorf("spec: %w", err)
 	}
+	// The venue scenario's natural size is its whole bay grid, so an
+	// unset session count defaults to bays × players rather than the
+	// generic default.
+	if f.Sessions == 0 && f.Scenario == string(fleet.KindVenue) {
+		bays := f.Bays
+		if bays == 0 {
+			bays = fleet.DefaultVenueBays
+		}
+		ppb := f.HeadsetsPerRoom
+		if ppb == 0 {
+			ppb = fleet.DefaultCoexHeadsets
+		}
+		f.Sessions = bays * ppb
+	}
 	switch {
 	case f.Sessions == 0:
 		f.Sessions = defaultSessions
@@ -287,7 +329,7 @@ func (f FleetJobSpec) normalize() (FleetJobSpec, error) {
 			return FleetJobSpec{}, err
 		}
 	}
-	if f.Scenario == string(fleet.KindCoex) {
+	if fleet.IsCoexKind(fleet.Kind(f.Scenario)) {
 		switch {
 		case f.HeadsetsPerRoom == 0:
 			f.HeadsetsPerRoom = fleet.DefaultCoexHeadsets
@@ -313,6 +355,36 @@ func (f FleetJobSpec) normalize() (FleetJobSpec, error) {
 			return FleetJobSpec{}, fmt.Errorf("spec: coex_policy is only meaningful for the %q scenario family", fleet.KindCoex)
 		}
 	}
+	if f.Scenario == string(fleet.KindVenue) {
+		switch {
+		case f.Bays == 0:
+			f.Bays = fleet.DefaultVenueBays
+		case f.Bays < 0:
+			return FleetJobSpec{}, fmt.Errorf("spec: bays %d must be positive", f.Bays)
+		case f.Bays > fleet.MaxVenueBays:
+			return FleetJobSpec{}, fmt.Errorf("spec: bays %d exceeds the limit of %d", f.Bays, fleet.MaxVenueBays)
+		}
+		switch {
+		case f.Channels == 0:
+			f.Channels = venue.DefaultChannels
+		case f.Channels < 0:
+			return FleetJobSpec{}, fmt.Errorf("spec: channels %d must be positive", f.Channels)
+		case f.Channels > venue.MaxChannels:
+			return FleetJobSpec{}, fmt.Errorf("spec: channels %d exceeds the limit of %d", f.Channels, venue.MaxChannels)
+		}
+		mode, err := venue.ParseAssignMode(f.Assign)
+		if err != nil {
+			return FleetJobSpec{}, fmt.Errorf("spec: %w", err)
+		}
+		f.Assign = string(mode)
+		adm, err := fleet.ParseAdmission(f.Admission)
+		if err != nil {
+			return FleetJobSpec{}, fmt.Errorf("spec: %w", err)
+		}
+		f.Admission = adm
+	} else if f.Bays != 0 || f.Channels != 0 || f.Assign != "" || f.InterferenceOff || f.Admission != "" {
+		return FleetJobSpec{}, fmt.Errorf("spec: bays/channels/assign/interference_off/admission are only meaningful for the %q scenario", fleet.KindVenue)
+	}
 	if len(f.Variants) == 0 {
 		f.Variants = []string{"tracking"}
 	}
@@ -336,10 +408,20 @@ func (f FleetJobSpec) normalize() (FleetJobSpec, error) {
 			f.Sessions, len(f.Variants), total, maxFleetSessions)
 	}
 	switch f.Agg {
-	case "", aggExact:
-		// Exact is the default and canonically spelled as the omitted
-		// field, so pre-streaming specs keep their hashes.
-		f.Agg = ""
+	case "":
+		// The venue scenario defaults to the streaming path — hundreds
+		// of sessions at constant memory; everywhere else the exact
+		// default is canonically spelled as the omitted field, so
+		// pre-streaming specs keep their hashes.
+		if f.Scenario == string(fleet.KindVenue) {
+			f.Agg = aggStream
+		}
+	case aggExact:
+		// Venue keeps an explicit "exact" explicit (its default is
+		// stream, so the two must normalize apart).
+		if f.Scenario != string(fleet.KindVenue) {
+			f.Agg = ""
+		}
 	case aggStream:
 	default:
 		return FleetJobSpec{}, fmt.Errorf("spec: unknown agg %q (exact|stream)", f.Agg)

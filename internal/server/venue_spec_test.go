@@ -1,0 +1,204 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestVenueSpecNormalization pins the venue scenario's canonical form:
+// every venue knob defaults explicitly (bays 4, channels 3, greedy
+// coloring, queue admission), sessions size to the whole bay grid, the
+// aggregation defaults to streaming, and normalization is idempotent —
+// re-normalizing a normalized spec changes nothing, so a spec and its
+// canonical spelling share one cache entry.
+func TestVenueSpecNormalization(t *testing.T) {
+	norm, err := JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{Scenario: "venue"}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := norm.Fleet
+	if f.Bays != 4 || f.Channels != 3 || f.Assign != "color" || f.Admission != "queue" {
+		t.Errorf("venue defaults not filled: bays=%d channels=%d assign=%q admission=%q",
+			f.Bays, f.Channels, f.Assign, f.Admission)
+	}
+	if f.Sessions != 16 {
+		t.Errorf("sessions = %d, want the full 4-bay × 4-player grid", f.Sessions)
+	}
+	if f.Agg != "stream" {
+		t.Errorf("agg = %q, want the streaming default", f.Agg)
+	}
+
+	again, err := norm.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := norm.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := again.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("venue normalization is not idempotent")
+	}
+
+	// Explicit bays win the session sizing; explicit exact agg survives
+	// normalization (the venue default is stream, so the two must hash
+	// apart).
+	exact, err := JobSpec{Kind: "fleet", Fleet: &FleetJobSpec{
+		Scenario: "venue", Bays: 16, HeadsetsPerRoom: 4, Agg: "exact",
+	}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Fleet.Sessions != 64 {
+		t.Errorf("sessions = %d, want 16 bays × 4 players", exact.Fleet.Sessions)
+	}
+	if exact.Fleet.Agg != "exact" {
+		t.Errorf("agg = %q, venue must keep an explicit exact", exact.Fleet.Agg)
+	}
+	he, err := exact.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if he == h1 {
+		t.Error("venue exact and stream aggregation must hash apart")
+	}
+}
+
+// TestVenueSpecValidation pins the venue field bounds and the rule that
+// venue knobs are meaningless — and rejected — on every other scenario.
+func TestVenueSpecValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		spec FleetJobSpec
+		want string
+	}{
+		{"too many bays", FleetJobSpec{Scenario: "venue", Bays: 65}, "exceeds"},
+		{"negative bays", FleetJobSpec{Scenario: "venue", Bays: -1}, "must be positive"},
+		{"too many channels", FleetJobSpec{Scenario: "venue", Channels: 5}, "exceeds"},
+		{"unknown assign", FleetJobSpec{Scenario: "venue", Assign: "roulette"}, "assignment mode"},
+		{"unknown admission", FleetJobSpec{Scenario: "venue", Admission: "waitlist"}, "admission"},
+		{"bays on coex", FleetJobSpec{Scenario: "coex", Bays: 2}, "only meaningful"},
+		{"admission on mixed", FleetJobSpec{Scenario: "mixed", Admission: "queue"}, "only meaningful"},
+		{"interference_off on home", FleetJobSpec{Scenario: "home", InterferenceOff: true}, "only meaningful"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := tc.spec
+			_, err := JobSpec{Kind: "fleet", Fleet: &spec}.Normalize()
+			if err == nil {
+				t.Fatalf("Normalize accepted %+v", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestVenueFieldHashes pins cache correctness for the venue knobs:
+// specs differing in any venue field hash apart, while implicit and
+// explicit defaults share one hash.
+func TestVenueFieldHashes(t *testing.T) {
+	hash := func(f FleetJobSpec) string {
+		t.Helper()
+		h, err := JobSpec{Kind: "fleet", Fleet: &f}.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	base := hash(FleetJobSpec{Scenario: "venue", Seed: 7})
+	variants := map[string]string{
+		"bays":             hash(FleetJobSpec{Scenario: "venue", Seed: 7, Bays: 9}),
+		"channels":         hash(FleetJobSpec{Scenario: "venue", Seed: 7, Channels: 2}),
+		"assign":           hash(FleetJobSpec{Scenario: "venue", Seed: 7, Assign: "fixed"}),
+		"interference_off": hash(FleetJobSpec{Scenario: "venue", Seed: 7, InterferenceOff: true}),
+		"admission":        hash(FleetJobSpec{Scenario: "venue", Seed: 7, Admission: "reject"}),
+	}
+	seen := map[string]string{base: "base"}
+	for field, h := range variants {
+		if prev, dup := seen[h]; dup {
+			t.Errorf("venue specs differing in %s and %s hash identically", field, prev)
+		}
+		seen[h] = field
+	}
+	explicit := hash(FleetJobSpec{
+		Scenario: "venue", Seed: 7,
+		Bays: 4, Channels: 3, Assign: "color", Admission: "queue",
+		Sessions: 16, Agg: "stream",
+	})
+	if explicit != base {
+		t.Error("explicitly spelled venue defaults should hash like the implicit spec")
+	}
+}
+
+// TestVenueAdmissionEndpoint is the movrd admission-control contract: a
+// venue job whose per-bay player count exceeds the policy's schedulable
+// capacity is rejected at submit time with the typed admission_denied
+// envelope (409) when admission is "reject", admitted with the overflow
+// queued when admission is "queue" (the default), and both paths are
+// visible in /metrics.
+func TestVenueAdmissionEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	// EDF fits 4 players of 11.1 ms frame slots into a 50 ms window: 6
+	// players per bay overflows by 2, across 2 bays.
+	over := `{"kind":"fleet","fleet":{"scenario":"venue","bays":2,"headsets_per_room":6,"coex_policy":"edf","duration_ms":150,"admission":"reject"}}`
+	resp := postForError(t, ts, over)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("over-capacity reject submit: status %d, want 409", resp.StatusCode)
+	}
+	e := fetchEnvelope(t, resp)
+	if e.Code != ErrCodeAdmissionDenied {
+		t.Errorf("code %q, want %q", e.Code, ErrCodeAdmissionDenied)
+	}
+	if !strings.Contains(e.Message+e.Detail, "capacity") {
+		t.Errorf("envelope should name the capacity: %+v", e)
+	}
+
+	// The same bay under the queue default is admitted: the 4 schedulable
+	// players run, the 2 overflow players are queued per bay.
+	queued := `{"kind":"fleet","fleet":{"scenario":"venue","bays":2,"headsets_per_room":6,"coex_policy":"edf","duration_ms":150}}`
+	qresp, view := postJob(t, ts, queued, true)
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("queue submit: status %d", qresp.StatusCode)
+	}
+	if view.State != StateDone {
+		t.Fatalf("queue submit: state %s, error %q", view.State, view.Error)
+	}
+
+	// A within-capacity reject-mode venue is admitted outright.
+	fits := `{"kind":"fleet","fleet":{"scenario":"venue","bays":1,"headsets_per_room":2,"duration_ms":150,"admission":"reject"}}`
+	fresp, fview := postJob(t, ts, fits, true)
+	if fresp.StatusCode != http.StatusOK || fview.State != StateDone {
+		t.Fatalf("within-capacity reject submit: status %d state %s", fresp.StatusCode, fview.State)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	for _, want := range []string{
+		"movrd_admission_rejected_total 4",
+		"movrd_admission_queued_total 4",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(metrics, "movrd_admission_admitted_total") {
+		t.Error("/metrics missing the admitted counter")
+	}
+}

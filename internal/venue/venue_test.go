@@ -1,0 +1,288 @@
+package venue
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/movr-sim/movr/internal/coex"
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/room"
+	"github.com/movr-sim/movr/internal/vr"
+)
+
+func mustGrid(t *testing.T, bays int) Layout {
+	t.Helper()
+	l, err := Grid(bays, 8, 8, room.Drywall)
+	if err != nil {
+		t.Fatalf("Grid(%d): %v", bays, err)
+	}
+	return l
+}
+
+func TestGridShape(t *testing.T) {
+	cases := []struct {
+		bays, rows, cols int
+	}{
+		{1, 1, 1},
+		{2, 1, 2},
+		{4, 2, 2},
+		{5, 2, 3},
+		{9, 3, 3},
+		{16, 4, 4},
+		{64, 8, 8},
+	}
+	for _, c := range cases {
+		l := mustGrid(t, c.bays)
+		if l.Rows != c.rows || l.Cols != c.cols || l.Bays() != c.bays {
+			t.Errorf("Grid(%d) = %dx%d grid of %d bays, want %dx%d of %d",
+				c.bays, l.Rows, l.Cols, l.Bays(), c.rows, c.cols, c.bays)
+		}
+		if l.Rows*l.Cols < c.bays {
+			t.Errorf("Grid(%d): %dx%d cells cannot hold %d bays", c.bays, l.Rows, l.Cols, c.bays)
+		}
+	}
+	if _, err := Grid(0, 8, 8, room.Drywall); err == nil {
+		t.Error("Grid accepted zero bays")
+	}
+	if _, err := Grid(4, 0, 8, room.Drywall); err == nil {
+		t.Error("Grid accepted a zero-width bay")
+	}
+}
+
+func TestGridPlacement(t *testing.T) {
+	// 5 bays on a 2x3 grid: bay 4 starts the second row.
+	l := mustGrid(t, 5)
+	if got, want := l.Origin(0), geom.V(0, 0); got != want {
+		t.Errorf("Origin(0) = %v, want %v", got, want)
+	}
+	if got, want := l.Origin(4), geom.V(8, 8); got != want {
+		t.Errorf("Origin(4) = %v, want %v", got, want)
+	}
+	if got, want := l.Center(2), geom.V(20, 4); got != want {
+		t.Errorf("Center(2) = %v, want %v", got, want)
+	}
+}
+
+func TestWallsBetween(t *testing.T) {
+	// 3x3 grid, bays 0..8 row-major; center bay is 4.
+	l := mustGrid(t, 9)
+	cases := []struct{ a, b, walls int }{
+		{4, 1, 1}, // orthogonal: one shared partition
+		{4, 0, 2}, // diagonal: two partitions
+		{0, 2, 2}, // two bays along a row
+		{0, 8, 4}, // opposite corners
+		{4, 4, 0},
+	}
+	for _, c := range cases {
+		if got := l.WallsBetween(c.a, c.b); got != c.walls {
+			t.Errorf("WallsBetween(%d, %d) = %d, want %d", c.a, c.b, got, c.walls)
+		}
+		if got := l.WallsBetween(c.b, c.a); got != c.walls {
+			t.Errorf("WallsBetween(%d, %d) = %d, want %d (symmetry)", c.b, c.a, got, c.walls)
+		}
+	}
+}
+
+func TestInNeighborhood(t *testing.T) {
+	l := mustGrid(t, 9)
+	// The center bay's neighborhood is every other bay of a 3x3 grid.
+	for b := 0; b < 9; b++ {
+		want := b != 4
+		if got := l.InNeighborhood(4, b); got != want {
+			t.Errorf("InNeighborhood(4, %d) = %v, want %v", b, got, want)
+		}
+	}
+	// A corner sees only its three adjacent cells.
+	wantFor0 := map[int]bool{1: true, 3: true, 4: true}
+	for b := 0; b < 9; b++ {
+		if got := l.InNeighborhood(0, b); got != wantFor0[b] {
+			t.Errorf("InNeighborhood(0, %d) = %v, want %v", b, got, wantFor0[b])
+		}
+	}
+}
+
+func TestAssignChannelsColoring(t *testing.T) {
+	// Four channels four-color any 8-neighborhood grid: no co-channel
+	// neighbors anywhere.
+	l := mustGrid(t, 16)
+	chans, err := AssignChannels(l, MaxChannels, AssignColoring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < l.Bays(); b++ {
+		if n := l.CoChannelNeighbors(chans, b); n != 0 {
+			t.Errorf("bay %d has %d co-channel neighbors under 4-channel coloring", b, n)
+		}
+	}
+
+	// Three channels cannot avoid every conflict on a 4x4 grid, but
+	// coloring must beat fixed assignment overall.
+	colored, err := AssignChannels(l, DefaultChannels, AssignColoring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := AssignChannels(l, DefaultChannels, AssignFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflicts := func(chans []int) int {
+		total := 0
+		for b := 0; b < l.Bays(); b++ {
+			total += l.CoChannelNeighbors(chans, b)
+		}
+		return total
+	}
+	if c, f := conflicts(colored), conflicts(fixed); c >= f {
+		t.Errorf("coloring left %d co-channel pairs, fixed %d — coloring should win", c, f)
+	}
+}
+
+func TestAssignChannelsFixed(t *testing.T) {
+	l := mustGrid(t, 6)
+	chans, err := AssignChannels(l, 2, AssignFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, ch := range chans {
+		if ch != b%2 {
+			t.Errorf("fixed: bay %d on channel %d, want %d", b, ch, b%2)
+		}
+	}
+	// One channel makes every neighborhood co-channel — the worst case
+	// the acceptance tests lean on.
+	one, err := AssignChannels(l, 1, AssignFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range one {
+		if one[b] != 0 {
+			t.Fatalf("single-channel assignment gave bay %d channel %d", b, one[b])
+		}
+	}
+}
+
+func TestAssignChannelsValidation(t *testing.T) {
+	l := mustGrid(t, 4)
+	if _, err := AssignChannels(l, MaxChannels+1, AssignColoring); err == nil {
+		t.Error("AssignChannels accepted a channel count beyond the band")
+	}
+	if _, err := AssignChannels(l, 0, AssignColoring); err != nil {
+		t.Errorf("AssignChannels rejected the default channel count: %v", err)
+	}
+	if _, err := AssignChannels(l, 2, AssignMode("roulette")); err == nil {
+		t.Error("AssignChannels accepted an unknown mode")
+	}
+}
+
+func TestParseAssignMode(t *testing.T) {
+	if m, err := ParseAssignMode(""); err != nil || m != AssignColoring {
+		t.Errorf("ParseAssignMode(\"\") = %q, %v", m, err)
+	}
+	for _, m := range AssignModes() {
+		got, err := ParseAssignMode(string(m))
+		if err != nil || got != m {
+			t.Errorf("ParseAssignMode(%q) = %q, %v", m, got, err)
+		}
+	}
+	if _, err := ParseAssignMode("roulette"); err == nil {
+		t.Error("ParseAssignMode accepted an unknown mode")
+	}
+}
+
+// buildGeos builds per-bay geometry snapshots with distinct player
+// traces per bay, mirroring what the fleet generator feeds
+// InterferenceTable.
+func buildGeos(t *testing.T, bays, players int, dur time.Duration) []*coex.Geometry {
+	t.Helper()
+	geos := make([]*coex.Geometry, bays)
+	ap := geom.V(0.5, 0.5)
+	for b := range geos {
+		traces := make([]vr.Trace, players)
+		for i := range traces {
+			cfg := vr.DefaultTraceConfig(8, 8, int64(1000+b*players+i))
+			cfg.Duration = dur
+			tr, err := vr.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			traces[i] = tr
+		}
+		rm := coex.Room{Players: traces, Period: 50 * time.Millisecond}
+		geo, err := coex.BuildGeometry(rm, ap, 10*time.Millisecond, dur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		geos[b] = geo
+	}
+	return geos
+}
+
+func TestInterferenceTable(t *testing.T) {
+	const dur = time.Second
+	l := mustGrid(t, 2)
+	geos := buildGeos(t, 2, 2, dur)
+	p := DefaultParams(geom.V(0.5, 0.5))
+	coChannel := []int{0, 0}
+
+	pen := InterferenceTable(l, coChannel, 0, geos, p)
+	if int64(len(pen)) != geos[0].Windows() {
+		t.Fatalf("table has %d windows, snapshot %d", len(pen), geos[0].Windows())
+	}
+	positive := 0
+	for w, v := range pen {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("window %d penalty %v out of range", w, v)
+		}
+		if v > 0 {
+			positive++
+		}
+	}
+	if positive == 0 {
+		t.Error("an adjacent co-channel bay imposed no penalty in any window")
+	}
+
+	// Determinism: recomputing from the same snapshots is bit-identical.
+	again := InterferenceTable(l, coChannel, 0, geos, p)
+	for w := range pen {
+		if pen[w] != again[w] {
+			t.Fatalf("window %d: %v then %v — table is not deterministic", w, pen[w], again[w])
+		}
+	}
+
+	// Separate channels silence the neighbor entirely.
+	quiet := InterferenceTable(l, []int{0, 1}, 0, geos, p)
+	for w, v := range quiet {
+		if v != 0 {
+			t.Fatalf("window %d: cross-channel neighbor leaked %v dB", w, v)
+		}
+	}
+}
+
+// TestInterferenceWallAttenuation pins the geometry sensitivity: the
+// same neighbor behind a concrete partition must interfere less than
+// behind drywall.
+func TestInterferenceWallAttenuation(t *testing.T) {
+	const dur = time.Second
+	geos := buildGeos(t, 2, 2, dur)
+	p := DefaultParams(geom.V(0.5, 0.5))
+	chans := []int{0, 0}
+
+	drywall := mustGrid(t, 2)
+	concrete, err := Grid(2, 8, 8, room.Concrete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thin := InterferenceTable(drywall, chans, 0, geos, p)
+	thick := InterferenceTable(concrete, chans, 0, geos, p)
+	sum := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s
+	}
+	if st, sk := sum(thin), sum(thick); sk >= st {
+		t.Errorf("concrete partition (%f dB total) should attenuate more than drywall (%f dB)", sk, st)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"github.com/movr-sim/movr/internal/reflector"
 	"github.com/movr-sim/movr/internal/room"
 	"github.com/movr-sim/movr/internal/stream"
+	"github.com/movr-sim/movr/internal/venue"
 	"github.com/movr-sim/movr/internal/vr"
 )
 
@@ -187,9 +188,13 @@ type (
 	FleetScenarioConfig = fleet.ScenarioConfig
 
 	// FleetScenarioKind names a scenario generator
-	// (mixed|arcade|home|dense|coex|coexpf|coexedf) — the shared
+	// (mixed|arcade|home|dense|coex|coexpf|coexedf|venue) — the shared
 	// vocabulary of the movrsim -scenario flag and the movrd job API.
 	FleetScenarioKind = fleet.Kind
+
+	// VenueAssignMode names a venue channel-assignment strategy
+	// (color|fixed).
+	VenueAssignMode = venue.AssignMode
 
 	// FleetCollector folds session outcomes as they complete; exact
 	// and streaming implementations plug into RunFleetCollect.
@@ -434,6 +439,22 @@ var (
 	CoexFleet  = fleet.Coex
 	CoexFleetN = fleet.CoexN
 
+	// VenueFleet generates a venue-scale deployment: a near-square grid
+	// of adjacent coex bays sharing drywall partitions, with per-bay
+	// channel assignment (FleetScenarioConfig.VenueChannels/VenueAssign),
+	// cross-bay SINR interference read from neighboring bays' geometry
+	// snapshots, and admission control on each bay's TDMA capacity
+	// (VenueAdmission). VenueFleetN sizes the venue for roughly n
+	// sessions. A 1-bay venue reproduces the equivalent CoexFleet room
+	// byte-identically.
+	VenueFleet  = fleet.Venue
+	VenueFleetN = fleet.VenueN
+
+	// VenueFleetCapacity reports how many of a bay's configured players
+	// the admission controller admits under the scenario's policy and
+	// timing.
+	VenueFleetCapacity = fleet.VenueCapacity
+
 	// ParseFleetScenario validates a scenario name and returns its
 	// FleetScenarioKind; kind.Specs(n, cfg) generates the deterministic
 	// spec set and kind.Title() the report banner.
@@ -458,10 +479,33 @@ const (
 	FleetScenarioCoexPF  = fleet.KindCoexPF
 	FleetScenarioCoexEDF = fleet.KindCoexEDF
 
+	// FleetScenarioVenue is the venue-scale kind: a grid of coex bays
+	// with cross-bay interference, channel assignment and admission
+	// control. The bays/channels/assign/admission knobs apply to it
+	// alone.
+	FleetScenarioVenue = fleet.KindVenue
+
 	// DefaultCoexHeadsets and MaxCoexHeadsets bound the players sharing
 	// one coex bay's medium.
 	DefaultCoexHeadsets = fleet.DefaultCoexHeadsets
 	MaxCoexHeadsets     = fleet.MaxCoexHeadsets
+
+	// DefaultVenueBays and MaxVenueBays bound the venue scenario's bay
+	// grid; DefaultVenueChannels and MaxVenueChannels its channel
+	// budget.
+	DefaultVenueBays     = fleet.DefaultVenueBays
+	MaxVenueBays         = fleet.MaxVenueBays
+	DefaultVenueChannels = venue.DefaultChannels
+	MaxVenueChannels     = venue.MaxChannels
+
+	// VenueAssignColoring and VenueAssignFixed are the channel-
+	// assignment strategies; VenueAdmissionQueue and
+	// VenueAdmissionReject the admission behaviors for players beyond a
+	// bay's capacity.
+	VenueAssignColoring  = venue.AssignColoring
+	VenueAssignFixed     = venue.AssignFixed
+	VenueAdmissionQueue  = fleet.AdmissionQueue
+	VenueAdmissionReject = fleet.AdmissionReject
 
 	// CoexPolicyRR, CoexPolicyPF and CoexPolicyEDF name the pluggable
 	// airtime policies a coex bay's TDMA scheduler can run: the
@@ -506,8 +550,21 @@ var (
 	CoexPolicyNames = coex.PolicyNames
 
 	// IsCoexFleetScenario reports whether a scenario kind belongs to
-	// the shared-medium family the coex knobs apply to.
+	// the shared-medium family the coex knobs apply to (the venue kind
+	// included — its bays are coex rooms).
 	IsCoexFleetScenario = fleet.IsCoexKind
+
+	// IsVenueFleetScenario reports whether a kind is the venue scenario
+	// — the only one the bays/channels/assign/admission knobs apply to.
+	IsVenueFleetScenario = fleet.IsVenueKind
+
+	// ParseVenueAssignMode validates a channel-assignment mode name
+	// ("" = coloring); VenueAssignModeNames renders the "color|fixed"
+	// menu. ParseVenueAdmission validates an admission behavior
+	// ("" = queue).
+	ParseVenueAssignMode = venue.ParseAssignMode
+	VenueAssignModeNames = venue.AssignModeNames
+	ParseVenueAdmission  = fleet.ParseAdmission
 )
 
 // HeatmapConfig and HeatmapResult parameterize and report the coverage

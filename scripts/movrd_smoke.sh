@@ -130,6 +130,27 @@ n="$(grep -c '"id": "job-' "$workdir/list_p2" || true)"
 grep -q '"next_cursor"' "$workdir/list_p2" && fail "final page still carries next_cursor"
 echo "movrd-smoke: listing filters and cursor pagination ok"
 
+# Admission control: an over-capacity venue submit (EDF schedules 4 of
+# 6 players per bay) in reject mode is refused before execution with
+# the typed admission_denied envelope; the queue default admits the
+# same venue. Both paths count players in /metrics: 2 overflow × 2
+# bays = 4 rejected, then 4 queued.
+aspec='{"kind":"fleet","fleet":{"scenario":"venue","bays":2,"headsets_per_room":6,"coex_policy":"edf","duration_ms":300,"admission":"reject"}}'
+code="$(curl -s -o "$workdir/e409" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' -d "$aspec" \
+    "http://$addr/v1/jobs")"
+[ "$code" = 409 ] || fail "over-capacity venue submit returned $code, want 409: $(cat "$workdir/e409")"
+grep -q '"code": "admission_denied"' "$workdir/e409" || fail "409 body lacks the admission_denied envelope: $(cat "$workdir/e409")"
+qspec='{"kind":"fleet","fleet":{"scenario":"venue","bays":2,"headsets_per_room":6,"coex_policy":"edf","duration_ms":300}}'
+code="$(curl -s -o "$workdir/r4" -w '%{http_code}' \
+    -X POST -H 'Content-Type: application/json' -d "$qspec" \
+    "http://$addr/v1/jobs?wait=1")"
+[ "$code" = 200 ] || fail "queued venue submit returned $code: $(cat "$workdir/r4")"
+curl -s "http://$addr/metrics" >"$workdir/metrics2"
+grep -q '^movrd_admission_rejected_total 4$' "$workdir/metrics2" || fail "/metrics does not count the rejected players"
+grep -q '^movrd_admission_queued_total 4$' "$workdir/metrics2" || fail "/metrics does not count the queued players"
+echo "movrd-smoke: venue admission rejects over capacity and queues by default"
+
 # Debug listener: pprof and expvar live on their own socket, never the
 # job API address.
 daddr="$(sed -n 's/.*movrd: debug listening on \([0-9.:]*\)$/\1/p' "$log" | head -n 1)"
