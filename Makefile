@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build build-cmds vet fmt-check test race bench bench-suite bench-gate bench-baseline serve load-smoke ci
+.PHONY: build build-cmds vet fmt-check test race bench bench-suite bench-gate bench-baseline bench-profile serve load-smoke ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,15 @@ bench-gate:
 # BENCH_baseline.json and commit it with the change that justified it.
 bench-baseline:
 	MOVR_GIT_SHA=$$(git rev-parse --short=12 HEAD) $(GO) run ./cmd/movrsim -bench-out BENCH_baseline.json bench
+
+# Profile the suite: a fast pass that writes one CPU and one heap
+# profile per benchmark into profiles/ (plus the report), ready for
+# `go tool pprof profiles/fleet_venue16x4.cpu.pprof`. Profiled wall
+# times are perturbed — don't gate against them.
+bench-profile:
+	MOVR_GIT_SHA=$$(git rev-parse --short=12 HEAD) $(GO) run ./cmd/movrsim \
+		-fast -bench-cpuprofile profiles -bench-memprofile profiles \
+		-bench-out profiles/BENCH_profile.json bench
 
 # Start movrd, poll /healthz, submit a tiny fleet job, and assert the
 # resubmission is a byte-identical cache hit — the CI movrd-smoke step.

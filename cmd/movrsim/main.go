@@ -57,10 +57,12 @@
 //
 // Bench flags (see the README's "Performance workflow" section):
 //
-//	-bench-out P        report path (default BENCH_<git-sha>.json)
-//	-bench-compare P    baseline to gate against (e.g. BENCH_baseline.json)
-//	-bench-tol-pct F    allowed ns/op regression in percent (default 50)
-//	-bench-alloc-tol F  allowed allocs/op regression (default 0)
+//	-bench-out P         report path (default BENCH_<git-sha>.json)
+//	-bench-compare P     baseline to gate against (e.g. BENCH_baseline.json)
+//	-bench-tol-pct F     allowed ns/op regression in percent (default 50)
+//	-bench-alloc-tol F   allowed allocs/op regression (default 0)
+//	-bench-cpuprofile D  write per-benchmark CPU profiles into directory D
+//	-bench-memprofile D  write per-benchmark heap profiles into directory D
 package main
 
 import (
@@ -100,6 +102,8 @@ func main() {
 	benchCompare := flag.String("bench-compare", "", "baseline BENCH_*.json to gate against")
 	benchTolPct := flag.Float64("bench-tol-pct", 50, "allowed ns/op regression in percent")
 	benchAllocTol := flag.Float64("bench-alloc-tol", 0, "allowed allocs/op regression")
+	benchCPUProf := flag.String("bench-cpuprofile", "", "directory for per-benchmark CPU profiles (<name>.cpu.pprof)")
+	benchMemProf := flag.String("bench-memprofile", "", "directory for per-benchmark heap profiles (<name>.mem.pprof)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -300,7 +304,7 @@ func main() {
 	case "fleet":
 		runFleet(*seed, *workers, *sessions, *players, policy, *uplink, kind, *fast, *tracePath, *aggMode, shard, vf)
 	case "bench":
-		runBench(*benchOut, *benchCompare, *benchTolPct, *benchAllocTol, *fast)
+		runBench(*benchOut, *benchCompare, *benchCPUProf, *benchMemProf, *benchTolPct, *benchAllocTol, *fast)
 	case "all":
 		runFig3(*seed, *runs, *fast)
 		fmt.Println()
@@ -523,7 +527,10 @@ func runFleet(seed int64, workers, sessions, players int, policy movr.CoexPolicy
 	}
 	title := kind.Title()
 	if shard != nil {
-		specs = shard.Slice(specs)
+		// Bay-aligned slicing: no shard splits a bay, so every shard
+		// keeps the bay-batched execution path and merged results still
+		// reassemble the full run exactly.
+		specs = shard.SliceAligned(specs)
 		title += fmt.Sprintf(" [shard %d/%d]", shard.Index, shard.Count)
 	}
 	var recs []*obs.Recorder
@@ -544,9 +551,11 @@ func runFleet(seed int64, workers, sessions, players int, policy movr.CoexPolicy
 // runBench executes the named performance suite, writes the
 // schema-versioned BENCH_<sha>.json report, and — when a baseline is
 // given — gates the fresh numbers against it, exiting 1 on regression.
-func runBench(outPath, comparePath string, tolPct, allocTol float64, fast bool) {
+func runBench(outPath, comparePath, cpuProfDir, memProfDir string, tolPct, allocTol float64, fast bool) {
 	rep, err := bench.Run(bench.Suite(), bench.Options{
-		Fast: fast,
+		Fast:          fast,
+		CPUProfileDir: cpuProfDir,
+		MemProfileDir: memProfDir,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
 		},

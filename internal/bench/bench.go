@@ -17,16 +17,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
 )
 
 // SchemaVersion identifies the BENCH_*.json layout. Bump it when fields
-// change meaning; the gate refuses to compare across versions.
-const SchemaVersion = 1
+// change meaning; the gate refuses to compare across versions. v2 added
+// the Workers and GOMAXPROCS parallelism stamps — per-op wall times from
+// runs under different parallelism are not comparable, so the gate
+// refuses those too.
+const SchemaVersion = 2
 
 // Spec is one benchmark in the suite.
 type Spec struct {
@@ -48,6 +53,14 @@ type Spec struct {
 
 	// Op runs one repetition (OpsPerRep operations).
 	Op func() error
+
+	// AllocBound, when positive, is an absolute allocs/op ceiling
+	// enforced at run time — the run itself fails if the measured count
+	// exceeds it, independent of any baseline comparison. Use it to pin
+	// a hard-won allocation budget (e.g. fleet/venue16x4 after the
+	// bay-batched scratch reuse) so the bound travels with the suite
+	// instead of living only in a committed baseline file.
+	AllocBound float64
 }
 
 // Result is one benchmark's measured outcome.
@@ -70,6 +83,8 @@ type Report struct {
 	GOOS          string   `json:"goos"`
 	GOARCH        string   `json:"goarch"`
 	CPUs          int      `json:"cpus"`
+	GOMAXPROCS    int      `json:"gomaxprocs"`
+	Workers       int      `json:"workers"`
 	CreatedUTC    string   `json:"created_utc"`
 	Benchmarks    []Result `json:"benchmarks"`
 }
@@ -84,6 +99,22 @@ type Options struct {
 	// GitSHA overrides revision detection (normally from the build info
 	// or the MOVR_GIT_SHA environment variable).
 	GitSHA string
+
+	// Workers stamps the suite's pinned worker-pool width into the
+	// report (<= 0 means the suite default). It is a recording knob, not
+	// an override: the suite's parallel entries pin their own widths so
+	// any two reports compare like for like, and Compare refuses reports
+	// whose stamps disagree.
+	Workers int
+
+	// CPUProfileDir and MemProfileDir, when non-empty, write one pprof
+	// profile per benchmark into the directory (created if absent):
+	// <name>.cpu.pprof covering exactly the measured repetitions, and
+	// <name>.mem.pprof capturing the heap after them ('/' in benchmark
+	// names becomes '_'). Profiling perturbs wall times slightly, so
+	// gate comparisons should use unprofiled runs.
+	CPUProfileDir string
+	MemProfileDir string
 
 	// Log, when non-nil, receives one progress line per benchmark.
 	Log func(format string, args ...any)
@@ -116,6 +147,15 @@ func shortSHA(sha string) string {
 	return sha
 }
 
+// workers resolves the parallelism stamp: explicit option, else the
+// suite's pinned width.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return suiteWorkers
+}
+
 func (o Options) logf(format string, args ...any) {
 	if o.Log != nil {
 		o.Log(format, args...)
@@ -131,6 +171,8 @@ func Run(specs []Spec, opts Options) (Report, error) {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Workers:       opts.workers(),
 		CreatedUTC:    time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, sp := range specs {
@@ -172,16 +214,25 @@ func runOne(sp Spec, opts Options) (Result, error) {
 
 	samples := make([]float64, reps) // per-op ns, one sample per rep
 	runtime.GC()
+	stopCPU, err := startCPUProfile(opts.CPUProfileDir, sp.Name)
+	if err != nil {
+		return Result{}, err
+	}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	for i := 0; i < reps; i++ {
 		start := time.Now()
 		if err := sp.Op(); err != nil {
+			stopCPU()
 			return Result{}, fmt.Errorf("rep %d: %w", i, err)
 		}
 		samples[i] = float64(time.Since(start).Nanoseconds()) / float64(ops)
 	}
 	runtime.ReadMemStats(&after)
+	stopCPU()
+	if err := writeMemProfile(opts.MemProfileDir, sp.Name); err != nil {
+		return Result{}, err
+	}
 
 	totalOps := float64(reps) * float64(ops)
 	mean := 0.0
@@ -191,7 +242,7 @@ func runOne(sp Spec, opts Options) (Result, error) {
 	mean /= float64(reps)
 	sorted := append([]float64(nil), samples...)
 	sort.Float64s(sorted)
-	return Result{
+	res := Result{
 		Name:        sp.Name,
 		Reps:        reps,
 		OpsPerRep:   ops,
@@ -200,7 +251,59 @@ func runOne(sp Spec, opts Options) (Result, error) {
 		P95Ns:       percentile(sorted, 95),
 		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / totalOps,
 		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / totalOps,
+	}
+	if sp.AllocBound > 0 && res.AllocsPerOp > sp.AllocBound {
+		return Result{}, fmt.Errorf("%.2f allocs/op exceeds the spec's hard bound of %.0f", res.AllocsPerOp, sp.AllocBound)
+	}
+	return res, nil
+}
+
+// profilePath builds <dir>/<name><suffix>, flattening the '/' that
+// benchmark names use as a namespace separator.
+func profilePath(dir, name, suffix string) string {
+	return filepath.Join(dir, strings.ReplaceAll(name, "/", "_")+suffix)
+}
+
+// startCPUProfile begins a per-benchmark CPU profile when dir is set and
+// returns the stop function (a no-op otherwise).
+func startCPUProfile(dir, name string) (stop func(), err error) {
+	if dir == "" {
+		return func() {}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(profilePath(dir, name, ".cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpu profile %s: %w", name, err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
 	}, nil
+}
+
+// writeMemProfile snapshots the heap after a benchmark's measured reps
+// when dir is set. The GC run makes the profile reflect live retention
+// rather than whatever garbage the last rep left behind.
+func writeMemProfile(dir, name string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(profilePath(dir, name, ".mem.pprof"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // percentile reads the p-th percentile (nearest-rank) from an ascending
@@ -247,8 +350,8 @@ func ReadFile(path string) (Report, error) {
 // Render formats the report as a text table for terminals.
 func (r Report) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "movr benchmark suite — schema v%d, rev %s, %s %s/%s, %d CPUs\n\n",
-		r.SchemaVersion, r.GitSHA, r.GoVersion, r.GOOS, r.GOARCH, r.CPUs)
+	fmt.Fprintf(&b, "movr benchmark suite — schema v%d, rev %s, %s %s/%s, %d CPUs (GOMAXPROCS %d, %d workers)\n\n",
+		r.SchemaVersion, r.GitSHA, r.GoVersion, r.GOOS, r.GOARCH, r.CPUs, r.GOMAXPROCS, r.Workers)
 	fmt.Fprintf(&b, "%-24s %14s %14s %14s %12s %12s\n",
 		"benchmark", "ns/op", "p50 ns", "p95 ns", "B/op", "allocs/op")
 	for _, res := range r.Benchmarks {

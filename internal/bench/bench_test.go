@@ -2,7 +2,9 @@ package bench
 
 import (
 	"math"
+	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -120,6 +122,18 @@ func TestCompareAllocSlackIsCapped(t *testing.T) {
 	if c := Compare(base, fresh, DefaultTolerance()); c.OK() {
 		t.Fatal("+5 allocs/op passed a zero-tolerance gate")
 	}
+	// On ten-thousand-alloc entries the cap scales to 0.1% of baseline:
+	// pool-scheduling jitter of a few allocs passes, but a regression of
+	// one alloc per session (the venue entries run 64 per op) does not.
+	base = report(Result{Name: "venue", NsPerOp: 1, AllocsPerOp: 10480})
+	fresh = report(Result{Name: "venue", NsPerOp: 1, AllocsPerOp: 10488})
+	if c := Compare(base, fresh, DefaultTolerance()); !c.OK() {
+		t.Fatalf("+8 allocs/op on a 10k base failed the gate: %v", c.Regressions)
+	}
+	fresh.Benchmarks[0].AllocsPerOp = 10480 + 64
+	if c := Compare(base, fresh, DefaultTolerance()); c.OK() {
+		t.Fatal("+64 allocs/op (one per session) passed a zero-tolerance gate")
+	}
 }
 
 func TestCompareTimeNotEnforcedAcrossHostShapes(t *testing.T) {
@@ -161,6 +175,90 @@ func TestCompareNewBenchmarkIsNoted(t *testing.T) {
 	}
 }
 
+func TestCompareParallelismMismatchRefused(t *testing.T) {
+	base := report(Result{Name: "a", NsPerOp: 1000})
+	fresh := report(Result{Name: "a", NsPerOp: 1000})
+	base.Workers, fresh.Workers = 2, 4
+	if c := Compare(base, fresh, DefaultTolerance()); c.OK() {
+		t.Fatal("worker-width mismatch passed the gate")
+	}
+	// Same hardware class but a different GOMAXPROCS is refused too.
+	fresh.Workers = 2
+	base.CPUs, fresh.CPUs = 8, 8
+	base.GOMAXPROCS, fresh.GOMAXPROCS = 8, 4
+	if c := Compare(base, fresh, DefaultTolerance()); c.OK() {
+		t.Fatal("GOMAXPROCS mismatch on matching CPUs passed the gate")
+	}
+	// Across host shapes GOMAXPROCS naturally differs; the host-shape
+	// demotion already covers that case, so it is not a refusal.
+	base.CPUs = 4
+	base.GOMAXPROCS = 4
+	if c := Compare(base, fresh, DefaultTolerance()); !c.OK() {
+		t.Fatalf("cross-host GOMAXPROCS difference refused: %v", c.Regressions)
+	}
+}
+
+func TestAllocBoundEnforcedAtRunTime(t *testing.T) {
+	sink := make([][]byte, 0, 16)
+	sp := Spec{
+		Name:       "micro/alloc",
+		Warmup:     1,
+		Reps:       3,
+		AllocBound: 0.5,
+		Op: func() error {
+			sink = append(sink[:0], make([]byte, 1))
+			return nil
+		},
+	}
+	if _, err := Run([]Spec{sp}, Options{GitSHA: "test"}); err == nil {
+		t.Fatal("allocating op passed a 0.5 allocs/op hard bound")
+	}
+	sp.AllocBound = 1000
+	if _, err := Run([]Spec{sp}, Options{GitSHA: "test"}); err != nil {
+		t.Fatalf("op within its alloc bound failed: %v", err)
+	}
+}
+
+func TestProfileDirsWritten(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := Run([]Spec{tinySpec("micro/prof")},
+		Options{GitSHA: "test", CPUProfileDir: dir, MemProfileDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %d, want 1", len(rep.Benchmarks))
+	}
+	for _, name := range []string{"micro_prof.cpu.pprof", "micro_prof.mem.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("profile %s: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", name)
+		}
+	}
+}
+
+func TestReportStampsParallelism(t *testing.T) {
+	rep, err := Run([]Spec{tinySpec("micro/stamp")}, Options{GitSHA: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != suiteWorkers {
+		t.Errorf("workers = %d, want suite default %d", rep.Workers, suiteWorkers)
+	}
+	if rep.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("gomaxprocs = %d, want %d", rep.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+	if rep, err = Run(nil, Options{GitSHA: "test", Workers: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 7 {
+		t.Errorf("explicit workers stamp = %d, want 7", rep.Workers)
+	}
+}
+
 func TestCompareSchemaMismatchFails(t *testing.T) {
 	base := report()
 	base.SchemaVersion = SchemaVersion + 1
@@ -177,7 +275,7 @@ func TestSuiteShape(t *testing.T) {
 		"obs/record", "obs/off",
 		"fleet/mixed", "fleet/arcade", "fleet/home", "fleet/dense",
 		"fleet/coex", "fleet/coexpf", "fleet/coexedf", "fleet/venue",
-		"fleet/venue16x4",
+		"fleet/venue16x4", "fleet/venue16x4w4",
 		"server/aggregate_stream",
 		"movrd/submit",
 	}

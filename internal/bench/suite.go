@@ -41,7 +41,10 @@ func Suite() []Spec {
 	for _, kind := range fleet.Kinds {
 		specs = append(specs, fleetSpec(kind))
 	}
-	return append(specs, venueSpec(), aggregateStreamSpec(), movrdSpec())
+	return append(specs,
+		venueSpec("fleet/venue16x4", suiteWorkers),
+		venueSpec("fleet/venue16x4w4", 4),
+		aggregateStreamSpec(), movrdSpec())
 }
 
 // tracerSpec measures one steady-state TraceHInto in the furnished
@@ -266,8 +269,15 @@ func fleetSpec(kind fleet.Kind) Spec {
 // constant however many bays the venue grows). The run covers the whole
 // venue pipeline: bay grid layout, greedy channel coloring, per-bay
 // geometry snapshots, cross-bay interference tables, and the penalized
-// session simulations.
-func venueSpec() Spec {
+// bay-batched session simulations. The suite carries it at two pinned
+// worker widths (fleet/venue16x4 at the suite default, fleet/venue16x4w4
+// at 4 workers) so scaling regressions in the bay-batched pool path show
+// up; each entry's width is part of its name, keeping every cross-report
+// comparison like for like. The alloc bound is a hard run-time ceiling
+// set at the pre-bay-batching baseline (~21.5k allocs/op): the scratch
+// reuse that batching bought must never silently erode past where the
+// per-session path started.
+func venueSpec(name string, workers int) Spec {
 	cfg := fleet.ScenarioConfig{
 		Seed:         1,
 		Duration:     500 * time.Millisecond,
@@ -275,15 +285,16 @@ func venueSpec() Spec {
 	}
 	specs, specErr := fleet.Venue(16, 4, cfg)
 	return Spec{
-		Name:   "fleet/venue16x4",
-		Warmup: 1,
-		Reps:   5,
+		Name:       name,
+		Warmup:     1,
+		Reps:       5,
+		AllocBound: 21500,
 		Op: func() error {
 			if specErr != nil {
 				return specErr
 			}
 			col := fleet.StreamCollectorFor(specs)
-			res, err := fleet.RunCollect(context.Background(), specs, fleet.Config{Workers: suiteWorkers}, col)
+			res, err := fleet.RunCollect(context.Background(), specs, fleet.Config{Workers: workers}, col)
 			if err != nil {
 				return err
 			}

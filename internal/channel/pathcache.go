@@ -17,12 +17,14 @@ import (
 // query is answered in one of three tiers:
 //
 //   - full hit: endpoints, heights, carrier, wall set, and every obstacle
-//     are unchanged — the cached path set is emitted as-is;
-//   - revalidation: only obstacle fields (typically positions) changed —
-//     the cached path geometry (bounce points, lengths, angles,
-//     reflection losses) is still exact, so only the moved obstacles'
-//     per-leg knife-edge contributions are recomputed and the blockage
-//     sums rebuilt;
+//     are unchanged (detected via the room's obstacle-mutation epoch: one
+//     integer compare when nothing moved) — the cached path set is
+//     emitted as-is;
+//   - revalidation: only obstacles changed (their per-obstacle epoch
+//     stamps postdate the slot's snapshot) — the cached path geometry
+//     (bounce points, lengths, angles, reflection losses) is still exact,
+//     so only the moved obstacles' per-leg knife-edge contributions are
+//     recomputed and the blockage sums rebuilt;
 //   - full re-trace: an endpoint, height, the carrier, the wall set, or
 //     the obstacle count changed — the cached set is discarded and the
 //     tracer runs from scratch.
@@ -99,8 +101,15 @@ type pathSlot struct {
 	wallsLen   int
 	wallsHead  *room.Wall
 
-	// Obstacle snapshot the cached contributions were computed against.
+	// Obstacle snapshot the cached contributions were computed against,
+	// and the room mutation epoch it was taken at. Change detection is
+	// epoch-driven: the room stamps each obstacle with the epoch of its
+	// last mutation, so "what moved since this snapshot?" is an integer
+	// compare per obstacle — and a single compare when nothing in the
+	// room moved at all — instead of a struct compare per obstacle per
+	// query.
 	obs     []room.Obstacle
+	epoch   uint64
 	changed []bool
 
 	// Paths in generation order, plus the flat per-(path, leg, obstacle)
@@ -152,15 +161,26 @@ func (c *PathCache) TraceHInto(slot int, dst []Path, tx, rx geom.Vec, hTx, hRx f
 		c.stats.Misses++
 		return c.fullTrace(s, dst, tx, rx, hTx, hRx, false)
 	}
+	roomEpoch := t.Room.Epoch()
+	if roomEpoch == s.epoch {
+		c.stats.Hits++
+		return c.emit(s, dst)
+	}
+	// Something in the room mutated since the snapshot; obstacle i is
+	// affected iff its own stamp postdates the snapshot.
+	obsEpochs := t.Room.ObstacleEpochs()
 	nChanged := 0
 	for i := range obs {
-		ch := obs[i] != s.obs[i]
+		ch := obsEpochs[i] > s.epoch
 		s.changed[i] = ch
 		if ch {
 			nChanged++
 		}
 	}
 	if nChanged == 0 {
+		// Mutations cancelled out (e.g. an add/remove pair restored the
+		// set); every surviving obstacle is provably unchanged.
+		s.epoch = roomEpoch
 		c.stats.Hits++
 		return c.emit(s, dst)
 	}
@@ -174,6 +194,7 @@ func (c *PathCache) TraceHInto(slot int, dst []Path, tx, rx geom.Vec, hTx, hRx f
 	}
 	c.stats.Revalidations++
 	c.revalidate(s, obs)
+	s.epoch = roomEpoch
 	return c.emit(s, dst)
 }
 
@@ -197,6 +218,7 @@ func (c *PathCache) fullTrace(s *pathSlot, dst []Path, tx, rx geom.Vec, hTx, hRx
 		s.wallsHead = nil
 	}
 	s.obs = append(s.obs[:0], obs...)
+	s.epoch = t.Room.Epoch()
 	if cap(s.changed) < len(obs) {
 		s.changed = make([]bool, len(obs))
 	}

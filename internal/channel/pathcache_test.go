@@ -234,3 +234,67 @@ func TestPathCacheZeroAllocs(t *testing.T) {
 		t.Fatalf("warm re-trace allocates %.1f objects/op, want 0", allocs)
 	}
 }
+
+// TestPathCacheEpochSubsetMove pins the epoch-driven revalidation the
+// bay-batched tick relies on: when only a subset of a room's obstacles
+// move in a tick, the cache must revalidate exactly the moved ones
+// (taking the revalidation tier, not a full re-trace), a parked obstacle
+// "moved" to its current position must not defeat the full-hit tier, and
+// an add/remove pair that restores the obstacle set must be recognized
+// as unchanged.
+func TestPathCacheEpochSubsetMove(t *testing.T) {
+	rm := room.NewOffice5x5()
+	bodyA := rm.AddObstacle(room.Body(geom.V(1.5, 3.5)))
+	bodyB := rm.AddObstacle(room.Body(geom.V(3.5, 3.5)))
+	hand := rm.AddObstacle(room.Hand(geom.V(-10, -10)))
+	tr := NewTracer(rm, DefaultBudget().FreqHz, 2)
+	ref := NewTracer(rm, DefaultBudget().FreqHz, 2)
+	c := NewPathCache(tr)
+
+	a, b := geom.V(0.4, 2.5), geom.V(4.6, 2.5)
+	var buf, refBuf []Path
+	query := func(tag string) {
+		t.Helper()
+		buf = c.TraceHInto(0, buf[:0], a, b, 1.5, 1.5)
+		refBuf = ref.TraceHInto(refBuf[:0], a, b, 1.5, 1.5)
+		comparePaths(t, tag, buf, refBuf)
+	}
+
+	// Warm the slot, then trigger contribution recording.
+	query("warm")
+	rm.MoveObstacle(bodyA, geom.V(1.5, 3.4))
+	query("record")
+
+	// Tick where only bodyA of the three obstacles moves.
+	rm.MoveObstacle(bodyA, geom.V(1.5, 2.6))
+	rm.MoveObstacle(bodyB, geom.V(3.5, 3.5)) // parked: same position
+	rm.MoveObstacle(hand, geom.V(-10, -10))  // parked: same position
+	before := c.Stats()
+	query("subset-move")
+	after := c.Stats()
+	if after.Revalidations != before.Revalidations+1 || after.Misses != before.Misses {
+		t.Fatalf("subset move should revalidate: before %+v after %+v", before, after)
+	}
+
+	// Tick where every "move" is to the current position: full hit.
+	rm.MoveObstacle(bodyA, geom.V(1.5, 2.6))
+	rm.MoveObstacle(bodyB, geom.V(3.5, 3.5))
+	rm.MoveObstacle(hand, geom.V(-10, -10))
+	before = c.Stats()
+	query("parked")
+	after = c.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("parked tick should be a full hit: before %+v after %+v", before, after)
+	}
+
+	// Add/remove pair restoring the set: epoch advances but every
+	// surviving obstacle is unchanged, so the query is still a hit.
+	idx := rm.AddObstacle(room.Body(geom.V(0.2, 0.2)))
+	rm.RemoveObstacle(idx)
+	before = c.Stats()
+	query("cancelled")
+	after = c.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("cancelled mutation should be a full hit: before %+v after %+v", before, after)
+	}
+}

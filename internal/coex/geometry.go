@@ -151,6 +151,24 @@ func (g *Geometry) PoseAt(i int, t time.Duration) (geom.Vec, bool) {
 	return g.poses[k*len(g.players)+i], true
 }
 
+// PosesAtTick returns the full pose row — every player's position — for
+// one tick, without copying: index the row by player number. It answers
+// exactly when PoseAt would (t on the tick grid, within the horizon),
+// so row[i] is bitwise PoseAt(i, t). The bay-batched runner fetches the
+// row once per room-tick instead of querying per (player, peer) pair.
+// The returned slice aliases the snapshot; callers must not modify it.
+func (g *Geometry) PosesAtTick(t time.Duration) ([]geom.Vec, bool) {
+	if t < 0 || t%g.step != 0 {
+		return nil, false
+	}
+	k := int(t / g.step)
+	if k >= g.nTicks {
+		return nil, false
+	}
+	n := len(g.players)
+	return g.poses[k*n : (k+1)*n], true
+}
+
 // tracesEqual compares two motion traces by content: the same samples
 // in the same order, regardless of backing storage. Sessions substitute
 // their own regenerated copy of their trace at Self, so pointer

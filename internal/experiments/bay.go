@@ -1,0 +1,168 @@
+// Bay-batched lockstep execution: a bay (one shared room of K players)
+// becomes the unit of execution instead of a session. One engine steps
+// the room-tick once — fetch the shared geometry snapshot's pose row
+// once, resolve the venue interference penalty once — then evaluates
+// every player's link/stream state against that stepped world in
+// player-index order.
+//
+// Determinism contract: results are byte-identical to running each
+// player through the per-session path. Per-player event ordering is
+// preserved exactly (initial apply-then-control, world ticks before
+// nothing, control ticks before coincident world ticks, frames on the
+// display grid), and players share no mutable state — each has a
+// private world, link manager, and scheduler; the shared snapshot and
+// bay-tick values are read-only and stamped with the exact query time —
+// so cross-player interleaving at equal timestamps cannot influence any
+// player's results. The fleet property tests pin this equivalence
+// across scenario kinds, policies, and worker counts.
+
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/movr-sim/movr/internal/coex"
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/sim"
+	"github.com/movr-sim/movr/internal/stream"
+	"github.com/movr-sim/movr/internal/vr"
+)
+
+// BayPlayer describes one player of a bay-batched run.
+type BayPlayer struct {
+	Cfg     SessionConfig
+	Variant SessionVariant
+
+	// LatencyScratch, when it has capacity for every frame of the
+	// session, seeds the player's stream latency buffer. RunBayLockstep
+	// writes the (possibly regrown) buffer back to this field so callers
+	// can recycle it across bays.
+	LatencyScratch []time.Duration
+}
+
+// BayPlayerError attributes a bay-run failure to one player.
+type BayPlayerError struct {
+	Player int
+	Err    error
+}
+
+func (e *BayPlayerError) Error() string { return fmt.Sprintf("bay player %d: %v", e.Player, e.Err) }
+func (e *BayPlayerError) Unwrap() error { return e.Err }
+
+// bayTick holds the per-room-tick values shared by a bay's players:
+// the geometry snapshot's pose row and the venue interference penalty,
+// each computed once per tick instead of once per player. Consumers
+// check the stamped time against their query time, so a stale value is
+// never used (control ticks at window boundaries fall back to their own
+// scheduler lookup, exactly like the per-session path).
+type bayTick struct {
+	geo *coex.Geometry
+
+	row   []geom.Vec
+	rowOK bool
+	rowAt time.Duration
+
+	pen   float64
+	penOK bool
+	penAt time.Duration
+}
+
+// step advances the shared tick state to virtual time now.
+func (bt *bayTick) step(now time.Duration, sched *coex.Scheduler) {
+	bt.row, bt.rowOK = bt.geo.PosesAtTick(now)
+	bt.rowAt = now
+	if sched != nil && sched.HasExtInterference() {
+		// The penalty is a pure per-window table lookup on the bay's
+		// shared ExtSINRPenaltyDB, identical across the bay's players
+		// for the same time.
+		bt.pen = sched.ExtPenaltyDB(now)
+		bt.penOK = true
+		bt.penAt = now
+	}
+}
+
+// RunBayLockstep runs a bay of co-located sessions in lockstep on one
+// shared engine. All players must share the same room-owned geometry
+// snapshot, session duration, and re-evaluation period (the fleet
+// grouper guarantees this; ad-hoc callers get a BayPlayerError).
+// Outcomes are returned in player order and are byte-identical to
+// running each player via RunSessionVariant.
+func RunBayLockstep(players []BayPlayer) ([]VariantOutcome, error) {
+	if len(players) == 0 {
+		return nil, nil
+	}
+	engine := sim.New()
+	states := make([]*playerState, len(players))
+	var bt *bayTick
+	var duration, period time.Duration
+	for i := range players {
+		cfg := players[i].Cfg.withDefaults()
+		if i == 0 {
+			if cfg.Coex == nil || cfg.Coex.Geometry == nil {
+				return nil, &BayPlayerError{0, fmt.Errorf("bay run requires a shared geometry snapshot")}
+			}
+			duration, period = cfg.Duration, cfg.ReEvalPeriod
+			bt = &bayTick{geo: cfg.Coex.Geometry}
+		} else if cfg.Coex == nil || cfg.Coex.Geometry != bt.geo ||
+			cfg.Duration != duration || cfg.ReEvalPeriod != period {
+			return nil, &BayPlayerError{i, fmt.Errorf("bay players disagree on geometry/duration/period")}
+		}
+		// Regenerate the player's own trace exactly as the per-session
+		// path does — never trust Coex.Players[Self] to be it.
+		trace, err := sessionTrace(cfg)
+		if err != nil {
+			return nil, &BayPlayerError{i, err}
+		}
+		ps, err := newPlayerState(cfg, trace, players[i].Variant, engine)
+		if err != nil {
+			return nil, &BayPlayerError{i, err}
+		}
+		ps.bay = bt
+		states[i] = ps
+	}
+
+	// Initial state, then both cadences — per player, the identical
+	// apply-then-control-then-frames order the per-session path
+	// produces, batched across the bay.
+	bt.step(0, states[0].sched)
+	for _, ps := range states {
+		ps.applyWorld(ps.trace.At(0))
+	}
+	for _, ps := range states {
+		ps.controlTick(ps.trace.At(0))
+	}
+	engine.Every(0, WorldTick, func() {
+		now := engine.Now()
+		bt.step(now, states[0].sched)
+		for _, ps := range states {
+			ps.applyWorld(ps.trace.At(now))
+		}
+	})
+	engine.Every(0, period, func() {
+		now := engine.Now()
+		for _, ps := range states {
+			ps.controlTick(ps.trace.At(now))
+		}
+	})
+
+	sessions := make([]*stream.Session, len(states))
+	for i, ps := range states {
+		sessions[i] = stream.Begin(engine, stream.Config{
+			Display:        vr.HTCVive(),
+			Duration:       ps.cfg.Duration,
+			Obs:            ps.rec,
+			LatencyScratch: players[i].LatencyScratch,
+		}, ps.rateFn())
+	}
+	engine.Run(duration)
+
+	outs := make([]VariantOutcome, len(states))
+	for i, ps := range states {
+		rep := sessions[i].Report()
+		ps.finish(rep)
+		players[i].LatencyScratch = sessions[i].LatencyBuffer()
+		outs[i] = VariantOutcome{Report: rep, Handoffs: ps.handoffs}
+	}
+	return outs, nil
+}

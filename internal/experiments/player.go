@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/movr-sim/movr/internal/coex"
+	"github.com/movr-sim/movr/internal/control"
+	"github.com/movr-sim/movr/internal/geom"
+	"github.com/movr-sim/movr/internal/linkmgr"
+	"github.com/movr-sim/movr/internal/obs"
+	"github.com/movr-sim/movr/internal/phy"
+	"github.com/movr-sim/movr/internal/radio"
+	"github.com/movr-sim/movr/internal/reflector"
+	"github.com/movr-sim/movr/internal/room"
+	"github.com/movr-sim/movr/internal/sim"
+	"github.com/movr-sim/movr/internal/stream"
+	"github.com/movr-sim/movr/internal/vr"
+)
+
+// playerState is one session's complete simulation state, split out of
+// the monolithic session loop into a step-world half (applyWorld) and an
+// evaluate-player half (controlTick) so a caller can either run one
+// player on its own engine (the classic per-session path) or batch a
+// bay's K players on a shared engine (RunBayLockstep), with identical
+// per-player event ordering — and therefore byte-identical results —
+// either way.
+type playerState struct {
+	cfg     SessionConfig
+	variant SessionVariant
+	trace   vr.Trace
+	engine  *sim.Engine
+
+	w   *World
+	hs  *radio.Headset
+	mgr *linkmgr.Manager
+
+	peerTraces []vr.Trace
+	peerIdx    []int
+	peerPlayer []int
+	sched      *coex.Scheduler
+	geo        *coex.Geometry
+	handIdx    int
+
+	rec *obs.Recorder
+
+	// bay, when non-nil, shares per-tick world state (the geometry
+	// snapshot's pose row, the venue interference penalty) across the
+	// bay's players; values are only consumed when stamped with the
+	// exact query time, so they are bitwise the ones the per-session
+	// path would compute itself.
+	bay *bayTick
+
+	currentRate float64
+	req         phy.VRRequirement
+
+	// Reactive-policy state: consecutive failing evaluations, and the
+	// deadline of an in-flight alignment sweep.
+	failStreak     int
+	realignUntil   time.Duration
+	realignPending bool
+
+	// Handoff accounting: a handoff is a change of the serving path
+	// between two usable configurations (direct ↔ reflector-i or
+	// reflector-i ↔ reflector-j). Dropping to or recovering from
+	// PathNone is an outage, not a handoff.
+	handoffs   int
+	havePath   bool
+	lastChoice linkmgr.PathChoice
+	lastRefl   int
+}
+
+// newPlayerState wires a session's world, link manager, shared-medium
+// scheduler, and recorder onto the given engine — everything runVariant
+// historically did before scheduling its cadences.
+func newPlayerState(cfg SessionConfig, trace vr.Trace, variant SessionVariant, engine *sim.Engine) (*playerState, error) {
+	w, err := sessionWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := trace.At(0)
+	hs := w.NewHeadsetAt(start.Pos, start.YawDeg)
+	mgr := linkmgr.New(w.Tracer, w.AP, hs)
+
+	ps := &playerState{
+		cfg:          cfg,
+		variant:      variant,
+		trace:        trace,
+		engine:       engine,
+		w:            w,
+		hs:           hs,
+		mgr:          mgr,
+		req:          mgr.Req,
+		realignUntil: -1,
+		lastChoice:   linkmgr.PathNone,
+		lastRefl:     -1,
+	}
+
+	if variant != VariantDirectOnly {
+		mounts := cfg.Mounts
+		if mounts == nil {
+			mounts = DefaultMounts(cfg.RoomW, cfg.RoomD)
+		}
+		for _, mount := range mounts {
+			dev := reflector.Default(mount.Pos, mount.FacingDeg)
+			link := control.NewLink(reflector.NewController(dev), control.DefaultRTT, 0, cfg.Seed)
+			idx := mgr.AddReflector(dev, link)
+			if err := mgr.AlignFromGeometry(idx); err != nil {
+				panic(err) // index valid by construction
+			}
+			// Point the reflector at the session-start pose; the static
+			// variant never moves it again.
+			mgr.PrimeReflector(idx)
+		}
+	}
+
+	// Static scenery blockers (furniture, bystanders, other players)
+	// stand for the whole session.
+	for _, b := range cfg.Blockers {
+		w.Room.AddObstacle(b)
+	}
+
+	// Shared-medium rooms: every other player is a dynamic obstacle
+	// moving along its own trace, and the stream's rate is gated by this
+	// session's TDMA airtime share of the room's one 60 GHz channel.
+	if cfg.Coex != nil {
+		rm := *cfg.Coex
+		// The scheduler must see the motion actually being streamed as
+		// this player's trace; peers stay as configured.
+		players := append([]vr.Trace(nil), rm.Players...)
+		if rm.Self >= 0 && rm.Self < len(players) {
+			players[rm.Self] = trace
+		}
+		rm.Players = players
+		if rm.Period <= 0 {
+			rm.Period = cfg.ReEvalPeriod
+		}
+		ps.sched, err = coex.NewScheduler(rm, w.AP.Pos)
+		if err != nil && rm.Geometry != nil {
+			// The room snapshot is an optimization hint: a caller whose
+			// Self trace differs from the one the snapshot was built
+			// with (Coex.Players[Self] "should be" this session's
+			// motion, but is substituted regardless) falls back to live
+			// evaluation rather than failing the session.
+			rm.Geometry = nil
+			ps.sched, err = coex.NewScheduler(rm, w.AP.Pos)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ps.geo = rm.Geometry
+		for i, tr := range players {
+			if i == rm.Self {
+				continue
+			}
+			ps.peerTraces = append(ps.peerTraces, tr)
+			ps.peerPlayer = append(ps.peerPlayer, i)
+			ps.peerIdx = append(ps.peerIdx, w.Room.AddObstacle(room.Body(tr.At(0).Pos)))
+		}
+	}
+
+	// The hand blocker follows the trace; one obstacle slot is reused.
+	ps.handIdx = w.Room.AddObstacle(room.Hand(geom.V(-10, -10))) // parked off-room
+
+	// Event recording: stamp in the session engine's sim time and open
+	// the session span. All recorder methods are nil-safe, but the wiring
+	// stays behind a nil check: the engine.Now method value would
+	// allocate a closure per session even on untraced runs.
+	rec := cfg.Obs
+	if cfg.ObsFor != nil {
+		rec = cfg.ObsFor(variant)
+	}
+	ps.rec = rec
+	if rec != nil {
+		rec.SetClock(engine.Now)
+		rec.EmitAt(0, obs.KindSessionStart, 0, 0, 0, 0)
+		if cfg.AdmissionQueued > 0 {
+			rec.EmitAt(0, obs.KindAdmissionQueued, int32(cfg.AdmissionQueued), 0, 0, 0)
+		}
+		if cfg.AdmissionRejected > 0 {
+			rec.EmitAt(0, obs.KindAdmissionRejected, int32(cfg.AdmissionRejected), 0, 0, 0)
+		}
+		mgr.Obs = rec
+		if ps.sched != nil {
+			ps.sched.SetRecorder(rec)
+		}
+	}
+	return ps, nil
+}
+
+// peerPos reads a peer's position from the bay's already-fetched pose
+// row when one covers the query time, from the room-owned snapshot when
+// one covers the query (bit-identical by construction), and from the
+// peer's trace otherwise.
+func (ps *playerState) peerPos(j int, t time.Duration) geom.Vec {
+	if ps.geo != nil {
+		if bt := ps.bay; bt != nil && bt.geo == ps.geo && bt.rowOK && bt.rowAt == t {
+			return bt.row[ps.peerPlayer[j]]
+		}
+		if p, ok := ps.geo.PoseAt(ps.peerPlayer[j], t); ok {
+			return p
+		}
+	}
+	return ps.peerTraces[j].At(t).Pos
+}
+
+// rateOf folds the bay's external-interference penalty (cross-bay
+// leakage, set by the venue layer as Coex.ExtSINRPenaltyDB) into a
+// link state's deliverable rate: the serving path's SNR drops by the
+// current window's penalty and the MCS is re-picked at the degraded
+// SINR. The zero-penalty path returns the state's own rate — the
+// same phy.RateBps derivation — so interference-free bays (and every
+// pre-venue caller, where the input is nil) are bit-identical to the
+// historical code.
+func (ps *playerState) rateOf(st linkmgr.LinkState) float64 {
+	if ps.sched == nil || !ps.sched.HasExtInterference() || st.RateBps <= 0 {
+		return st.RateBps
+	}
+	var pen float64
+	if bt := ps.bay; bt != nil && bt.penOK && bt.penAt == ps.engine.Now() {
+		pen = bt.pen
+	} else {
+		pen = ps.sched.ExtPenaltyDB(ps.engine.Now())
+	}
+	if pen <= 0 {
+		return st.RateBps
+	}
+	return phy.RateBps(st.SNRdB - pen)
+}
+
+// notePath updates the handoff accounting with a controller decision.
+func (ps *playerState) notePath(st linkmgr.LinkState) {
+	if st.Choice == linkmgr.PathNone {
+		return
+	}
+	switched := st.Choice != ps.lastChoice ||
+		(st.Choice == linkmgr.PathReflector && st.ReflectorIdx != ps.lastRefl)
+	if ps.havePath && switched {
+		ps.handoffs++
+	}
+	ps.havePath = true
+	ps.lastChoice = st.Choice
+	ps.lastRefl = st.ReflectorIdx
+}
+
+// applyWorld is the step-world half of the session tick: the physical
+// geometry (pose, raised hand, peer bodies) evolves at the trace rate
+// regardless of how often the controller acts. The delivered rate is
+// re-read passively — whatever configuration is applied, through
+// whatever the geometry now is.
+func (ps *playerState) applyWorld(p vr.Pose) {
+	for j, idx := range ps.peerIdx {
+		ps.w.Room.MoveObstacle(idx, ps.peerPos(j, ps.engine.Now()))
+	}
+	if p.HandRaised {
+		ps.w.Room.MoveObstacle(ps.handIdx, p.HandPos())
+	} else {
+		ps.w.Room.MoveObstacle(ps.handIdx, geom.V(-10, -10))
+	}
+	ps.hs.MoveTo(p.Pos)
+	ps.hs.SetYaw(p.YawDeg)
+	if ps.realignPending && ps.engine.Now() < ps.realignUntil {
+		ps.currentRate = 0 // alignment sweep holds the link down
+		return
+	}
+	ps.currentRate = ps.rateOf(ps.mgr.Reassess())
+}
+
+// controlTick is the evaluate-player half of the session tick: the
+// variant's policy acts at ReEvalPeriod.
+func (ps *playerState) controlTick(p vr.Pose) {
+	var st linkmgr.LinkState
+	switch ps.variant {
+	case VariantDirectOnly, VariantMoVRTracking:
+		st = ps.mgr.Step(p.Pos, p.YawDeg)
+	case VariantMoVRStatic:
+		st = ps.mgr.BestFrozen()
+	case VariantMoVRReactive:
+		now := ps.engine.Now()
+		if ps.realignPending && now < ps.realignUntil {
+			return // sweep in progress
+		}
+		if ps.realignPending {
+			// Sweep done: beams re-pointed for the current pose.
+			ps.realignPending = false
+			for i := range ps.mgr.Reflectors() {
+				ps.mgr.PrimeReflector(i)
+			}
+		}
+		st = ps.mgr.BestFrozen()
+		if !ps.req.MetByRate(st.RateBps) {
+			ps.failStreak++
+			if ps.failStreak >= 2 {
+				ps.failStreak = 0
+				ps.realignPending = true
+				ps.realignUntil = now + realignSweepCost
+			}
+		} else {
+			ps.failStreak = 0
+		}
+	}
+	ps.notePath(st)
+	ps.currentRate = ps.rateOf(st)
+}
+
+// rateFn returns the stream's rate function: the player's current link
+// rate, gated by its coex airtime share when the medium is shared.
+func (ps *playerState) rateFn() stream.RateFunc {
+	fn := stream.RateFunc(func(now time.Duration) float64 { return ps.currentRate })
+	if ps.sched != nil {
+		fn = ps.sched.Wrap(fn)
+	}
+	return fn
+}
+
+// finish closes the session span on the recorder.
+func (ps *playerState) finish(rep stream.Report) {
+	ps.rec.EmitAt(ps.cfg.Duration, obs.KindSessionEnd, int32(rep.Delivered), int32(rep.Frames), 0, 0)
+}

@@ -6,12 +6,8 @@ import (
 	"time"
 
 	"github.com/movr-sim/movr/internal/coex"
-	"github.com/movr-sim/movr/internal/control"
 	"github.com/movr-sim/movr/internal/geom"
-	"github.com/movr-sim/movr/internal/linkmgr"
 	"github.com/movr-sim/movr/internal/obs"
-	"github.com/movr-sim/movr/internal/phy"
-	"github.com/movr-sim/movr/internal/reflector"
 	"github.com/movr-sim/movr/internal/room"
 	"github.com/movr-sim/movr/internal/sim"
 	"github.com/movr-sim/movr/internal/stream"
@@ -284,253 +280,34 @@ func sessionWorld(cfg SessionConfig) (*World, error) {
 	return NewSizedWorld(cfg.RoomW, cfg.RoomD, 1)
 }
 
-// runVariant wires a fresh world per variant and streams over it.
+// runVariant wires a fresh world per variant (via playerState, which
+// holds the step-world and evaluate-player halves of the loop) and
+// streams over it on a private engine.
 func runVariant(cfg SessionConfig, trace vr.Trace, variant SessionVariant) (VariantOutcome, error) {
-	w, err := sessionWorld(cfg)
+	engine := sim.New()
+	ps, err := newPlayerState(cfg, trace, variant, engine)
 	if err != nil {
 		return VariantOutcome{}, err
 	}
-	start := trace.At(0)
-	hs := w.NewHeadsetAt(start.Pos, start.YawDeg)
-	mgr := linkmgr.New(w.Tracer, w.AP, hs)
-
-	if variant != VariantDirectOnly {
-		mounts := cfg.Mounts
-		if mounts == nil {
-			mounts = DefaultMounts(cfg.RoomW, cfg.RoomD)
-		}
-		for _, mount := range mounts {
-			dev := reflector.Default(mount.Pos, mount.FacingDeg)
-			link := control.NewLink(reflector.NewController(dev), control.DefaultRTT, 0, cfg.Seed)
-			idx := mgr.AddReflector(dev, link)
-			if err := mgr.AlignFromGeometry(idx); err != nil {
-				panic(err) // index valid by construction
-			}
-			// Point the reflector at the session-start pose; the static
-			// variant never moves it again.
-			mgr.PrimeReflector(idx)
-		}
-	}
-
-	// Static scenery blockers (furniture, bystanders, other players)
-	// stand for the whole session.
-	for _, b := range cfg.Blockers {
-		w.Room.AddObstacle(b)
-	}
-
-	// Shared-medium rooms: every other player is a dynamic obstacle
-	// moving along its own trace, and the stream's rate is gated by this
-	// session's TDMA airtime share of the room's one 60 GHz channel.
-	var (
-		peerTraces []vr.Trace
-		peerIdx    []int
-		peerPlayer []int
-		sched      *coex.Scheduler
-		geo        *coex.Geometry
-	)
-	if cfg.Coex != nil {
-		rm := *cfg.Coex
-		// The scheduler must see the motion actually being streamed as
-		// this player's trace; peers stay as configured.
-		players := append([]vr.Trace(nil), rm.Players...)
-		if rm.Self >= 0 && rm.Self < len(players) {
-			players[rm.Self] = trace
-		}
-		rm.Players = players
-		if rm.Period <= 0 {
-			rm.Period = cfg.ReEvalPeriod
-		}
-		sched, err = coex.NewScheduler(rm, w.AP.Pos)
-		if err != nil && rm.Geometry != nil {
-			// The room snapshot is an optimization hint: a caller whose
-			// Self trace differs from the one the snapshot was built
-			// with (Coex.Players[Self] "should be" this session's
-			// motion, but is substituted regardless) falls back to live
-			// evaluation rather than failing the session.
-			rm.Geometry = nil
-			sched, err = coex.NewScheduler(rm, w.AP.Pos)
-		}
-		if err != nil {
-			return VariantOutcome{}, err
-		}
-		geo = rm.Geometry
-		for i, tr := range players {
-			if i == rm.Self {
-				continue
-			}
-			peerTraces = append(peerTraces, tr)
-			peerPlayer = append(peerPlayer, i)
-			peerIdx = append(peerIdx, w.Room.AddObstacle(room.Body(tr.At(0).Pos)))
-		}
-	}
-	// peerPos reads a peer's position from the room-owned snapshot when
-	// one covers the query (bit-identical by construction) and from the
-	// peer's trace otherwise.
-	peerPos := func(j int, t time.Duration) geom.Vec {
-		if geo != nil {
-			if p, ok := geo.PoseAt(peerPlayer[j], t); ok {
-				return p
-			}
-		}
-		return peerTraces[j].At(t).Pos
-	}
-
-	// The hand blocker follows the trace; one obstacle slot is reused.
-	handIdx := w.Room.AddObstacle(room.Hand(geom.V(-10, -10))) // parked off-room
-
-	engine := sim.New()
-
-	// Event recording: stamp in the session engine's sim time and open
-	// the session span. All recorder methods are nil-safe, but the wiring
-	// stays behind a nil check: the engine.Now method value would
-	// allocate a closure per session even on untraced runs.
-	rec := cfg.Obs
-	if cfg.ObsFor != nil {
-		rec = cfg.ObsFor(variant)
-	}
-	if rec != nil {
-		rec.SetClock(engine.Now)
-		rec.EmitAt(0, obs.KindSessionStart, 0, 0, 0, 0)
-		if cfg.AdmissionQueued > 0 {
-			rec.EmitAt(0, obs.KindAdmissionQueued, int32(cfg.AdmissionQueued), 0, 0, 0)
-		}
-		if cfg.AdmissionRejected > 0 {
-			rec.EmitAt(0, obs.KindAdmissionRejected, int32(cfg.AdmissionRejected), 0, 0, 0)
-		}
-		mgr.Obs = rec
-		if sched != nil {
-			sched.SetRecorder(rec)
-		}
-	}
-
-	// rateOf folds the bay's external-interference penalty (cross-bay
-	// leakage, set by the venue layer as Coex.ExtSINRPenaltyDB) into a
-	// link state's deliverable rate: the serving path's SNR drops by the
-	// current window's penalty and the MCS is re-picked at the degraded
-	// SINR. The zero-penalty path returns the state's own rate — the
-	// same phy.RateBps derivation — so interference-free bays (and every
-	// pre-venue caller, where the input is nil) are bit-identical to the
-	// historical code.
-	rateOf := func(st linkmgr.LinkState) float64 {
-		if sched == nil || !sched.HasExtInterference() || st.RateBps <= 0 {
-			return st.RateBps
-		}
-		pen := sched.ExtPenaltyDB(engine.Now())
-		if pen <= 0 {
-			return st.RateBps
-		}
-		return phy.RateBps(st.SNRdB - pen)
-	}
-
-	currentRate := 0.0
-	req := mgr.Req
-	// Reactive-policy state: consecutive failing evaluations, and the
-	// deadline of an in-flight alignment sweep.
-	failStreak := 0
-	realignUntil := time.Duration(-1)
-	realignPending := false
-
-	// Handoff accounting: a handoff is a change of the serving path
-	// between two usable configurations (direct ↔ reflector-i or
-	// reflector-i ↔ reflector-j). Dropping to or recovering from
-	// PathNone is an outage, not a handoff.
-	handoffs := 0
-	havePath := false
-	lastChoice := linkmgr.PathNone
-	lastRefl := -1
-	notePath := func(st linkmgr.LinkState) {
-		if st.Choice == linkmgr.PathNone {
-			return
-		}
-		switched := st.Choice != lastChoice ||
-			(st.Choice == linkmgr.PathReflector && st.ReflectorIdx != lastRefl)
-		if havePath && switched {
-			handoffs++
-		}
-		havePath = true
-		lastChoice = st.Choice
-		lastRefl = st.ReflectorIdx
-	}
-
-	// World tick: the physical geometry (pose, raised hand) evolves at
-	// the trace rate regardless of how often the controller acts. The
-	// delivered rate is re-read passively — whatever configuration is
-	// applied, through whatever the geometry now is.
-	applyWorld := func(p vr.Pose) {
-		for j, idx := range peerIdx {
-			w.Room.MoveObstacle(idx, peerPos(j, engine.Now()))
-		}
-		if p.HandRaised {
-			w.Room.MoveObstacle(handIdx, p.HandPos())
-		} else {
-			w.Room.MoveObstacle(handIdx, geom.V(-10, -10))
-		}
-		hs.MoveTo(p.Pos)
-		hs.SetYaw(p.YawDeg)
-		if realignPending && engine.Now() < realignUntil {
-			currentRate = 0 // alignment sweep holds the link down
-			return
-		}
-		currentRate = rateOf(mgr.Reassess())
-	}
-
-	// Controller tick: the variant's policy acts at ReEvalPeriod.
-	control := func(p vr.Pose) {
-		var st linkmgr.LinkState
-		switch variant {
-		case VariantDirectOnly, VariantMoVRTracking:
-			st = mgr.Step(p.Pos, p.YawDeg)
-		case VariantMoVRStatic:
-			st = mgr.BestFrozen()
-		case VariantMoVRReactive:
-			now := engine.Now()
-			if realignPending && now < realignUntil {
-				return // sweep in progress
-			}
-			if realignPending {
-				// Sweep done: beams re-pointed for the current pose.
-				realignPending = false
-				for i := range mgr.Reflectors() {
-					mgr.PrimeReflector(i)
-				}
-			}
-			st = mgr.BestFrozen()
-			if !req.MetByRate(st.RateBps) {
-				failStreak++
-				if failStreak >= 2 {
-					failStreak = 0
-					realignPending = true
-					realignUntil = now + realignSweepCost
-				}
-			} else {
-				failStreak = 0
-			}
-		}
-		notePath(st)
-		currentRate = rateOf(st)
-	}
 
 	// Initial state, then both cadences.
-	applyWorld(start)
-	control(start)
+	start := trace.At(0)
+	ps.applyWorld(start)
+	ps.controlTick(start)
 	engine.Every(0, WorldTick, func() {
-		applyWorld(trace.At(engine.Now()))
+		ps.applyWorld(trace.At(engine.Now()))
 	})
 	engine.Every(0, cfg.ReEvalPeriod, func() {
-		control(trace.At(engine.Now()))
+		ps.controlTick(trace.At(engine.Now()))
 	})
 
-	rateFn := stream.RateFunc(func(now time.Duration) float64 { return currentRate })
-	if sched != nil {
-		rateFn = sched.Wrap(rateFn)
-	}
 	rep := stream.Run(engine, stream.Config{
 		Display:  vr.HTCVive(),
 		Duration: cfg.Duration,
-		Obs:      rec,
-	}, rateFn)
-	rec.EmitAt(cfg.Duration, obs.KindSessionEnd, int32(rep.Delivered), int32(rep.Frames), 0, 0)
-	return VariantOutcome{Report: rep, Handoffs: handoffs}, nil
+		Obs:      ps.rec,
+	}, ps.rateFn())
+	ps.finish(rep)
+	return VariantOutcome{Report: rep, Handoffs: ps.handoffs}, nil
 }
 
 // Render prints the session comparison.

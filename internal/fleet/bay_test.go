@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"github.com/movr-sim/movr/internal/coex"
+)
+
+// TestBayBatchByteIdentical is the bay-batched execution contract as a
+// property test: for every coexistence scenario kind, under every
+// scheduler policy and every worker count, the bay-batched path (the
+// default) must reproduce the per-session path byte for byte — whole
+// SessionOutcome structs compared with ==, fleet aggregate included.
+// This is what licenses bay batching as a pure performance change.
+func TestBayBatchByteIdentical(t *testing.T) {
+	cases := []struct {
+		name   string
+		kind   Kind
+		policy coex.PolicyName
+	}{
+		{"coex-rr", KindCoex, ""},
+		{"coex-pf", KindCoexPF, ""},
+		{"coex-edf", KindCoexEDF, ""},
+		{"venue-rr", KindVenue, ""},
+		{"venue-pf", KindVenue, coex.PolicyPF},
+		{"venue-edf", KindVenue, coex.PolicyEDF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := coexTestCfg()
+			cfg.CoexPolicy = tc.policy
+			specs, err := tc.kind.Specs(8, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := Run(context.Background(), specs, Config{Workers: 2, DisableBayBatch: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				got, err := Run(context.Background(), specs, Config{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Sessions) != len(ref.Sessions) {
+					t.Fatalf("workers=%d: %d sessions batched, %d per-session", workers, len(got.Sessions), len(ref.Sessions))
+				}
+				for i := range ref.Sessions {
+					if got.Sessions[i] != ref.Sessions[i] {
+						t.Errorf("workers=%d session %q:\n  batched     %+v\n  per-session %+v",
+							workers, ref.Sessions[i].ID, got.Sessions[i], ref.Sessions[i])
+					}
+				}
+				if got.Agg != ref.Agg {
+					t.Errorf("workers=%d: batched aggregate %+v != per-session %+v", workers, got.Agg, ref.Agg)
+				}
+			}
+		})
+	}
+}
+
+// TestBayGroupsFallBack pins the eligibility edges of bay grouping: a
+// bay truncated by a slice boundary, or specs with mismatched geometry,
+// must fall back to single-session groups rather than batch wrongly.
+func TestBayGroupsFallBack(t *testing.T) {
+	specs := Coex(2, 4, coexTestCfg())
+	if n := len(specs); n != 8 {
+		t.Fatalf("Coex(2, 4) generated %d specs, want 8", n)
+	}
+	if groups := bayGroups(specs, false); len(groups) != 2 ||
+		groups[0] != (specGroup{0, 4}) || groups[1] != (specGroup{4, 8}) {
+		t.Fatalf("full bays grouped as %v, want [{0 4} {4 8}]", groups)
+	}
+	// Truncate mid-bay: the second bay's head claims 4 players but only
+	// 2 specs remain, so every remaining spec must run alone.
+	trunc := bayGroups(specs[:6], false)
+	want := []specGroup{{0, 4}, {4, 5}, {5, 6}}
+	if len(trunc) != len(want) {
+		t.Fatalf("truncated bays grouped as %v, want %v", trunc, want)
+	}
+	for i := range want {
+		if trunc[i] != want[i] {
+			t.Fatalf("truncated bays grouped as %v, want %v", trunc, want)
+		}
+	}
+	// A slice starting mid-bay (Self != 0 at the head) never batches.
+	for i, g := range bayGroups(specs[1:5], false) {
+		if g.hi-g.lo != 1 {
+			t.Fatalf("mid-bay slice group %d is %v, want singleton", i, g)
+		}
+	}
+	if groups := bayGroups(specs, true); len(groups) != len(specs) {
+		t.Fatalf("DisableBayBatch grouped %d groups for %d specs", len(groups), len(specs))
+	}
+}
+
+// TestAlignedRangeTilesBays checks that bay-aligned sharding still tiles
+// the spec set exactly — every spec lands in exactly one shard — that no
+// shard boundary falls inside a bay while there are bays enough to go
+// around, and that with more shards than bays it degrades to the
+// unaligned split (every shard keeps work; the split bays just run
+// per-session) instead of handing some shard an empty range.
+func TestAlignedRangeTilesBays(t *testing.T) {
+	specs := Coex(3, 4, coexTestCfg())
+	n, bay := len(specs), BayLen(specs) // 12 specs, 3 bays of 4
+	if bay != 4 {
+		t.Fatalf("BayLen = %d, want 4", bay)
+	}
+	nBays := n / bay
+	for count := 1; count <= 5; count++ {
+		prev := 0
+		for idx := 0; idx < count; idx++ {
+			lo, hi := (Shard{Index: idx, Count: count}).AlignedRange(n, bay)
+			if lo != prev {
+				t.Fatalf("count=%d shard %d: lo=%d, want %d (gap or overlap)", count, idx, lo, prev)
+			}
+			if count <= nBays && (lo%bay != 0 || (hi%bay != 0 && hi != n)) {
+				t.Fatalf("count=%d shard %d: [%d,%d) splits a bay of %d", count, idx, lo, hi, bay)
+			}
+			if count <= n && hi == lo {
+				t.Fatalf("count=%d shard %d: empty range [%d,%d) with %d specs to go around", count, idx, lo, hi, n)
+			}
+			prev = hi
+		}
+		if prev != n {
+			t.Fatalf("count=%d: shards cover [0,%d), want [0,%d)", count, prev, n)
+		}
+	}
+}

@@ -469,6 +469,46 @@ func (s Shard) Slice(specs []Spec) []Spec {
 	return specs[lo:hi]
 }
 
+// AlignedRange returns the shard's half-open spec-index range with
+// boundaries aligned to bay-size multiples, so no shard splits a bay
+// and every shard keeps the bay-batched fast path. Spec sets built by
+// the scenario generators lay bays out contiguously at offsets that
+// are multiples of the bay size, which is exactly what this alignment
+// preserves. The ranges still tile [0, n) exactly (shards covering the
+// same bays, differing in bay count by at most one); with bay <= 1
+// this is Range. Merged results are unchanged by alignment: outcomes
+// are per session and shards concatenate in index order either way.
+// With more shards than bays, alignment would leave some shards empty
+// where the unaligned split gave every shard work, so it falls back to
+// Range — the split bays run per-session, byte-identical by the bay
+// determinism contract.
+func (s Shard) AlignedRange(n, bay int) (lo, hi int) {
+	if bay <= 1 {
+		return s.Range(n)
+	}
+	nBays := (n + bay - 1) / bay
+	if nBays < s.Count {
+		return s.Range(n)
+	}
+	lo = nBays * s.Index / s.Count * bay
+	hi = nBays * (s.Index + 1) / s.Count * bay
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// SliceAligned returns the shard's bay-aligned sub-slice of specs
+// (sharing the backing array), aligning to the spec set's own bay size
+// (BayLen).
+func (s Shard) SliceAligned(specs []Spec) []Spec {
+	lo, hi := s.AlignedRange(len(specs), BayLen(specs))
+	return specs[lo:hi]
+}
+
 // MergeShardResults reassembles per-shard Results — given in shard
 // index order — into the fleet-wide Result. Exact results (Sessions
 // retained) concatenate and re-aggregate, reproducing the unsharded

@@ -20,8 +20,10 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -66,6 +68,12 @@ type Config struct {
 	// this one) and total is len(specs). The callback never changes
 	// results.
 	OnSession func(done, total int, outcome SessionOutcome)
+
+	// DisableBayBatch forces every session through the per-session
+	// execution path even when consecutive specs form a batchable bay.
+	// Results are byte-identical either way (the property tests pin
+	// this); the switch exists for those tests and for A/B timing.
+	DisableBayBatch bool
 }
 
 // SessionOutcome is one session's result.
@@ -165,16 +173,8 @@ func RunCollect(ctx context.Context, specs []Spec, cfg Config, col Collector) (R
 		col = NewExactCollector(len(specs))
 	}
 	var completed atomic.Int64
-	run := func(_ context.Context, i int) error {
+	emit := func(i int, variant experiments.SessionVariant, out experiments.VariantOutcome) {
 		sp := specs[i]
-		variant := sp.Variant
-		if variant == "" {
-			variant = experiments.VariantMoVRTracking
-		}
-		out, err := experiments.RunSessionVariant(sp.Session, variant)
-		if err != nil {
-			return fmt.Errorf("session %q: %w", sp.ID, err)
-		}
 		o := SessionOutcome{
 			ID:       sp.ID,
 			Seed:     sp.Session.Seed,
@@ -189,19 +189,144 @@ func RunCollect(ctx context.Context, specs []Spec, cfg Config, col Collector) (R
 		if cfg.OnSession != nil {
 			cfg.OnSession(int(completed.Add(1)), len(specs), o)
 		}
+	}
+	runOne := func(i int) error {
+		sp := specs[i]
+		out, err := experiments.RunSessionVariant(sp.Session, specVariant(sp))
+		if err != nil {
+			return fmt.Errorf("session %q: %w", sp.ID, err)
+		}
+		emit(i, specVariant(sp), out)
 		return nil
+	}
+	runBay := func(g specGroup) error {
+		scr := bayScratchPool.Get().(*bayScratch)
+		defer bayScratchPool.Put(scr)
+		k := g.hi - g.lo
+		for len(scr.lat) < k {
+			scr.lat = append(scr.lat, nil)
+		}
+		players := scr.players[:0]
+		for i := g.lo; i < g.hi; i++ {
+			players = append(players, experiments.BayPlayer{
+				Cfg:            specs[i].Session,
+				Variant:        specVariant(specs[i]),
+				LatencyScratch: scr.lat[i-g.lo],
+			})
+		}
+		scr.players = players
+		outs, err := experiments.RunBayLockstep(players)
+		if err != nil {
+			var be *experiments.BayPlayerError
+			if errors.As(err, &be) {
+				return fmt.Errorf("session %q: %w", specs[g.lo+be.Player].ID, be.Err)
+			}
+			return err
+		}
+		for j, out := range outs {
+			scr.lat[j] = players[j].LatencyScratch
+			emit(g.lo+j, specVariant(specs[g.lo+j]), out)
+		}
+		return nil
+	}
+	// The pool's unit of work is a group: a bay run in lockstep, or a
+	// single session. Grouping only batches; outcomes still land per
+	// session in spec order, so results are unchanged.
+	groups := bayGroups(specs, cfg.DisableBayBatch)
+	run := func(_ context.Context, gi int) error {
+		g := groups[gi]
+		if g.hi-g.lo == 1 {
+			return runOne(g.lo)
+		}
+		return runBay(g)
 	}
 	var err error
 	if cfg.Runner != nil {
-		err = cfg.Runner.ForEach(ctx, len(specs), run)
+		err = cfg.Runner.ForEach(ctx, len(groups), run)
 	} else {
-		err = pool.ForEach(ctx, len(specs), cfg.Workers, run)
+		err = pool.ForEach(ctx, len(groups), cfg.Workers, run)
 	}
 	if err != nil {
 		return Result{}, err
 	}
 	return col.Result(), nil
 }
+
+// specVariant resolves a spec's variant; empty means the paper's §6
+// pose-tracking proposal.
+func specVariant(sp Spec) experiments.SessionVariant {
+	if sp.Variant == "" {
+		return experiments.VariantMoVRTracking
+	}
+	return sp.Variant
+}
+
+// specGroup is a contiguous run of specs executed together: one bay in
+// lockstep, or a single session.
+type specGroup struct{ lo, hi int }
+
+// bayRunLen reports how many specs starting at i form one bay-batchable
+// run: K >= 2 consecutive Coex sessions sharing the same room-owned
+// geometry snapshot (pointer-identical, the way the scenario generators
+// build bays), each with Self equal to its offset in the run, a player
+// count equal to the run length, and matching duration and control
+// cadence. Anything else — including a bay truncated by a spec-set or
+// shard boundary — returns 1, falling back to the per-session path,
+// which is byte-identical by the bay determinism contract.
+func bayRunLen(specs []Spec, i int) int {
+	c := specs[i].Session.Coex
+	if c == nil || c.Geometry == nil || c.Self != 0 {
+		return 1
+	}
+	k := len(c.Players)
+	if k < 2 || i+k > len(specs) {
+		return 1
+	}
+	for j := 1; j < k; j++ {
+		cj := specs[i+j].Session.Coex
+		if cj == nil || cj.Geometry != c.Geometry || cj.Self != j || len(cj.Players) != k ||
+			specs[i+j].Session.Duration != specs[i].Session.Duration ||
+			specs[i+j].Session.ReEvalPeriod != specs[i].Session.ReEvalPeriod {
+			return 1
+		}
+	}
+	return k
+}
+
+// bayGroups partitions specs into contiguous execution groups.
+func bayGroups(specs []Spec, disable bool) []specGroup {
+	groups := make([]specGroup, 0, len(specs))
+	for i := 0; i < len(specs); {
+		n := 1
+		if !disable {
+			n = bayRunLen(specs, i)
+		}
+		groups = append(groups, specGroup{i, i + n})
+		i += n
+	}
+	return groups
+}
+
+// BayLen reports the bay-batched run length at the head of specs — the
+// granularity shard boundaries should align to so no shard splits a bay
+// (see Shard.AlignedRange). 1 when the first spec runs alone.
+func BayLen(specs []Spec) int {
+	if len(specs) == 0 {
+		return 1
+	}
+	return bayRunLen(specs, 0)
+}
+
+// bayScratch is the per-worker reusable state of bay runs: the player
+// slice and each player's stream latency buffer, recycled across bays
+// through bayScratchPool so steady-state fleet runs stop allocating
+// them.
+type bayScratch struct {
+	players []experiments.BayPlayer
+	lat     [][]time.Duration
+}
+
+var bayScratchPool = sync.Pool{New: func() any { return new(bayScratch) }}
 
 // aggregate folds per-session outcomes (in spec order) into the fleet
 // statistics.

@@ -145,6 +145,10 @@ type Manager struct {
 	// and are only valid until the next trace.
 	pathBuf []channel.Path
 
+	// opt reuses gain-sweep probe scratch across every reflector
+	// evaluation this manager performs.
+	opt gainctl.Optimizer
+
 	// cache memoizes traced path sets per leg with temporal coherence:
 	// when only obstacles moved since the last evaluation of a leg, the
 	// cached paths are revalidated (blockage recomputed for the moved
@@ -266,7 +270,7 @@ func (m *Manager) EvaluateReflector(i int) (float64, bool) {
 	if leak := dev.LeakageDB(); e.gainKeyOK && e.gainExt == inbound && e.gainLeak == leak {
 		dev.Amp().SetGainWord(e.gainWord)
 	} else {
-		gainctl.Optimize(dev, inbound, m.GainCfg)
+		m.opt.Optimize(dev, inbound, m.GainCfg)
 		e.gainKeyOK, e.gainExt, e.gainLeak, e.gainWord = true, inbound, leak, dev.Amp().GainWord()
 	}
 	if !dev.Stable() || dev.SaturatedAt(inbound) {

@@ -120,6 +120,13 @@ type Room struct {
 
 	walls     []Wall
 	obstacles []Obstacle
+
+	// epoch counts obstacle mutations; obsEpochs[i] is the epoch at
+	// which obstacle i last changed. Together they let caches decide
+	// "has anything moved since my snapshot?" with one comparison and
+	// "which ones?" without comparing obstacle values.
+	epoch     uint64
+	obsEpochs []uint64
 }
 
 // New returns a rectangular room of the given dimensions whose four
@@ -188,10 +195,8 @@ func NewLivingRoom() *Room {
 		Mat: Wood,
 	})
 	// Sofa: a long low obstacle mid-room.
-	r.obstacles = append(r.obstacles,
-		Obstacle{Name: "sofa", Shape: geom.Circle{C: geom.V(3.0, 1.5), R: 0.5},
-			MaxLossDB: 30, HeightM: 0.8},
-	)
+	r.AddObstacle(Obstacle{Name: "sofa", Shape: geom.Circle{C: geom.V(3.0, 1.5), R: 0.5},
+		MaxLossDB: 30, HeightM: 0.8})
 	return r
 }
 
@@ -206,6 +211,8 @@ func (r *Room) Walls() []Wall { return r.walls }
 // can be passed to RemoveObstacle.
 func (r *Room) AddObstacle(o Obstacle) int {
 	r.obstacles = append(r.obstacles, o)
+	r.epoch++
+	r.obsEpochs = append(r.obsEpochs, r.epoch)
 	return len(r.obstacles) - 1
 }
 
@@ -217,23 +224,51 @@ func (r *Room) RemoveObstacle(i int) {
 		return
 	}
 	r.obstacles = append(r.obstacles[:i], r.obstacles[i+1:]...)
+	r.obsEpochs = append(r.obsEpochs[:i], r.obsEpochs[i+1:]...)
+	r.epoch++
+	// Indices from i onward now name different obstacles.
+	for j := i; j < len(r.obsEpochs); j++ {
+		r.obsEpochs[j] = r.epoch
+	}
 }
 
 // ClearObstacles removes all obstacles.
-func (r *Room) ClearObstacles() { r.obstacles = r.obstacles[:0] }
+func (r *Room) ClearObstacles() {
+	r.obstacles = r.obstacles[:0]
+	r.obsEpochs = r.obsEpochs[:0]
+	r.epoch++
+}
 
 // Obstacles returns the current obstacles. The returned slice is shared;
 // callers must not modify it.
 func (r *Room) Obstacles() []Obstacle { return r.obstacles }
 
 // MoveObstacle repositions the obstacle at index i, preserving its size
-// and loss. Out-of-range indices are a no-op.
+// and loss. Out-of-range indices are a no-op, as is a move to the
+// obstacle's current position (a parked obstacle stays "unchanged" for
+// epoch-tracking caches).
 func (r *Room) MoveObstacle(i int, pos geom.Vec) {
 	if i < 0 || i >= len(r.obstacles) {
 		return
 	}
+	if r.obstacles[i].Shape.C == pos {
+		return
+	}
 	r.obstacles[i].Shape.C = pos
+	r.epoch++
+	r.obsEpochs[i] = r.epoch
 }
+
+// Epoch returns a counter that increases on every obstacle mutation.
+// A cache that snapshots the obstacle set can compare epochs instead of
+// obstacle values: an unchanged epoch guarantees an unchanged set.
+func (r *Room) Epoch() uint64 { return r.epoch }
+
+// ObstacleEpochs returns, per obstacle, the epoch at which it last
+// changed: obstacle i is unchanged since a snapshot taken at epoch e iff
+// ObstacleEpochs()[i] <= e. The returned slice is shared; callers must
+// not modify it.
+func (r *Room) ObstacleEpochs() []uint64 { return r.obsEpochs }
 
 // InBounds reports whether p lies within the room's bounding rectangle
 // (with a small margin so wall-mounted devices validate).

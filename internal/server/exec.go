@@ -139,7 +139,10 @@ func executeFleet(ctx context.Context, f FleetJobSpec, runner *pool.Runner, onSe
 		if err := sh.Validate(); err != nil {
 			return fleet.Result{}, "", nil, err
 		}
-		specs = sh.Slice(specs)
+		// Bay-aligned: no shard splits a bay, so sharded jobs keep the
+		// bay-batched execution path; merging shards still reassembles
+		// the full run exactly.
+		specs = sh.SliceAligned(specs)
 	}
 	var recs []*obs.Recorder
 	if f.Trace {

@@ -42,6 +42,10 @@ type Engine struct {
 	seq    uint64
 	queue  eventQueue
 	halted bool
+
+	// free recycles executed event structs, so steady-state periodic
+	// schedules (Every, frame chains) allocate nothing.
+	free []*event
 }
 
 // New returns an Engine at time zero.
@@ -57,7 +61,16 @@ func (e *Engine) At(t time.Duration, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = t, e.seq, fn
+	} else {
+		ev = &event{at: t, seq: e.seq, fn: fn}
+	}
+	heap.Push(&e.queue, ev)
 }
 
 // After schedules fn delay after the current time.
@@ -100,7 +113,12 @@ func (e *Engine) Run(horizon time.Duration) int {
 		}
 		heap.Pop(&e.queue)
 		e.now = next.at
-		next.fn()
+		fn := next.fn
+		// Recycle before running fn so a reschedule inside it (Every's
+		// tick, a frame chain) reuses this struct immediately.
+		next.fn = nil
+		e.free = append(e.free, next)
+		fn()
 		executed++
 	}
 	if e.now < horizon && !e.halted {

@@ -73,6 +73,12 @@ type Config struct {
 	// frame. Recording is observation only: it never feeds back into
 	// delivery, so traced and untraced runs produce identical Reports.
 	Obs *obs.Recorder
+
+	// LatencyScratch, when it has capacity for every frame of the
+	// session, seeds the delivered-frame latency buffer so callers can
+	// reuse one allocation across sessions. The session owns the buffer
+	// until Report; reclaim it afterwards with LatencyBuffer.
+	LatencyScratch []time.Duration
 }
 
 // Run simulates frame delivery: each frame interval a frame of
@@ -83,79 +89,129 @@ type Config struct {
 // matching a real-time uncompressed pipeline with no retransmission
 // budget.
 func Run(engine *sim.Engine, cfg Config, rate RateFunc) Report {
-	interval := cfg.Display.FrameInterval()
-	frameBits := cfg.Display.FrameBits()
-	const slices = 10 // rate re-sampling granularity within a frame
+	s := Begin(engine, cfg, rate)
+	engine.Run(cfg.Duration)
+	return s.Report()
+}
+
+// Session is a streaming session begun with Begin whose frame events are
+// scheduled on a caller-driven engine. Splitting scheduling from the
+// engine run lets several sessions share one engine (the bay-batched
+// fleet runner) while executing the exact delivery logic of Run.
+type Session struct {
+	engine *sim.Engine
+	cfg    Config
+	rate   RateFunc
+
+	interval  time.Duration
+	frameBits float64
+	slackBits float64
+	frames    int
+
+	next      int    // index of the next frame to generate
+	tick      func() // frameTick bound once, reused by the chain
+	rep       Report
+	latencies []time.Duration
+	outage    time.Duration
+}
+
+// Begin schedules the session's frames on engine and returns the
+// session. Frames form a lazy chain — each frame event schedules the
+// next — so only one frame event per session is ever queued; frame
+// times and delivery arithmetic are identical to Run's eager schedule.
+// The caller runs the engine to (at least) cfg.Duration, then calls
+// Report.
+func Begin(engine *sim.Engine, cfg Config, rate RateFunc) *Session {
+	s := &Session{engine: engine, cfg: cfg, rate: rate}
+	s.interval = cfg.Display.FrameInterval()
+	s.frameBits = cfg.Display.FrameBits()
 
 	// slackBits absorbs float-rounding drift in the per-slice drain sums,
 	// so a link at exactly RequiredRateBps — which finishes each frame at
 	// the very last instant of its interval — counts as delivered. It is
 	// ~10⁻⁵ of one bit for the HTC Vive frame, far below any physical
 	// meaning.
-	slackBits := frameBits * 1e-12
+	s.slackBits = s.frameBits * 1e-12
 
-	rep := Report{}
-	var latencies []time.Duration
-	outage := time.Duration(0)
-
-	frames := int(cfg.Duration / interval)
-	for i := 0; i < frames; i++ {
-		start := time.Duration(i) * interval
-		engine.At(start, func() {
-			rep.Frames++
-			remaining := frameBits
-			elapsed := time.Duration(0)
-			for s := 0; s < slices; s++ {
-				// Slice boundaries are fractions of the interval, so the
-				// last slice ends exactly on the frame deadline. (A fixed
-				// width interval/slices floors to whole nanoseconds and
-				// leaves the interval's tail uncovered, glitching links
-				// that are exactly fast enough.)
-				next := interval * time.Duration(s+1) / slices
-				r := rate(engine.Now() + elapsed)
-				remaining -= r * (next - elapsed).Seconds()
-				elapsed = next
-				if remaining <= slackBits {
-					// Frame done within this slice; refine the finish
-					// time by backing out the overshoot.
-					if over := -remaining; over > 0 && r > 0 {
-						elapsed -= time.Duration(over / r * float64(time.Second))
-					}
-					break
-				}
-			}
-			if remaining <= slackBits && elapsed <= interval {
-				rep.Delivered++
-				latencies = append(latencies, elapsed)
-				outage = 0
-				cfg.Obs.EmitAt(start, obs.KindFrameOK, int32(i), 0, elapsed.Seconds(), 0)
-			} else {
-				rep.Glitches++
-				outage += interval
-				if outage > rep.LongestOutage {
-					rep.LongestOutage = outage
-				}
-				frac := 1 - remaining/frameBits
-				if frac < 0 {
-					frac = 0
-				} else if frac > 1 {
-					frac = 1
-				}
-				cfg.Obs.EmitAt(start, obs.KindFrameMiss, int32(i), 0, frac, 0)
-			}
-		})
+	s.frames = int(cfg.Duration / s.interval)
+	if cap(cfg.LatencyScratch) >= s.frames {
+		s.latencies = cfg.LatencyScratch[:0]
+	} else {
+		s.latencies = make([]time.Duration, 0, s.frames)
 	}
-	engine.Run(cfg.Duration)
-	rep.TotalOutage = time.Duration(rep.Glitches) * interval
+	s.tick = s.frameTick
+	if s.frames > 0 {
+		engine.At(0, s.tick)
+	}
+	return s
+}
 
-	if len(latencies) > 0 {
+const slices = 10 // rate re-sampling granularity within a frame
+
+// frameTick generates and drains one frame, then schedules the next.
+func (s *Session) frameTick() {
+	i := s.next
+	s.next++
+	if s.next < s.frames {
+		s.engine.At(time.Duration(s.next)*s.interval, s.tick)
+	}
+	start := time.Duration(i) * s.interval
+	s.rep.Frames++
+	remaining := s.frameBits
+	elapsed := time.Duration(0)
+	for sl := 0; sl < slices; sl++ {
+		// Slice boundaries are fractions of the interval, so the
+		// last slice ends exactly on the frame deadline. (A fixed
+		// width interval/slices floors to whole nanoseconds and
+		// leaves the interval's tail uncovered, glitching links
+		// that are exactly fast enough.)
+		next := s.interval * time.Duration(sl+1) / slices
+		r := s.rate(s.engine.Now() + elapsed)
+		remaining -= r * (next - elapsed).Seconds()
+		elapsed = next
+		if remaining <= s.slackBits {
+			// Frame done within this slice; refine the finish
+			// time by backing out the overshoot.
+			if over := -remaining; over > 0 && r > 0 {
+				elapsed -= time.Duration(over / r * float64(time.Second))
+			}
+			break
+		}
+	}
+	if remaining <= s.slackBits && elapsed <= s.interval {
+		s.rep.Delivered++
+		s.latencies = append(s.latencies, elapsed)
+		s.outage = 0
+		s.cfg.Obs.EmitAt(start, obs.KindFrameOK, int32(i), 0, elapsed.Seconds(), 0)
+	} else {
+		s.rep.Glitches++
+		s.outage += s.interval
+		if s.outage > s.rep.LongestOutage {
+			s.rep.LongestOutage = s.outage
+		}
+		frac := 1 - remaining/s.frameBits
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		s.cfg.Obs.EmitAt(start, obs.KindFrameMiss, int32(i), 0, frac, 0)
+	}
+}
+
+// Report finalizes the session's metrics. Call it once, after the engine
+// has run to the session horizon.
+func (s *Session) Report() Report {
+	rep := s.rep
+	rep.TotalOutage = time.Duration(rep.Glitches) * s.interval
+	if len(s.latencies) > 0 {
 		var sum time.Duration
-		xs := make([]float64, len(latencies))
-		for i, l := range latencies {
+		xs := make([]float64, len(s.latencies))
+		for i, l := range s.latencies {
 			sum += l
 			xs[i] = float64(l)
 		}
-		rep.MeanLatency = sum / time.Duration(len(latencies))
+		rep.MeanLatency = sum / time.Duration(len(s.latencies))
 		rep.P99Latency = time.Duration(percentile(xs, 99))
 	}
 	if rep.Frames > 0 {
@@ -163,6 +219,11 @@ func Run(engine *sim.Engine, cfg Config, rate RateFunc) Report {
 	}
 	return rep
 }
+
+// LatencyBuffer returns the session's internal latency buffer for reuse
+// as a later session's Config.LatencyScratch. Only meaningful after
+// Report.
+func (s *Session) LatencyBuffer() []time.Duration { return s.latencies }
 
 // percentile delegates to stats.Percentile (linear interpolation between
 // order statistics) so stream reports and fleet aggregates can never
